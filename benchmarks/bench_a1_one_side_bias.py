@@ -1,0 +1,20 @@
+"""A1 (DESIGN.md ✦): ablating the one-side-biased coin.
+
+Claim: the clause ``Z == 0 => b = 1`` is load-bearing — removing it
+lets a crash-only adversary violate Validity on unanimous-1 inputs,
+while SynRan proper decides 1 under the identical attack.
+"""
+
+from conftest import run_experiment
+
+from repro.harness.ablations import ablation_a1_one_side_bias
+
+
+def test_a1_one_side_bias(benchmark):
+    table = run_experiment(benchmark, ablation_a1_one_side_bias)
+    rows = {(row[0], row[1]): row for row in table.rows}
+    mass = "mass-crash, unanimous-1"
+    assert rows[("synran", mass)][3] == 0
+    assert rows[("synran", mass)][4] == "1"
+    assert rows[("symmetric-ran", mass)][3] > 0
+    assert rows[("symmetric-ran", mass)][4] == "0"

@@ -1,0 +1,22 @@
+"""A2 (DESIGN.md ✦): ablating the deterministic-stage trigger.
+
+Claim: keying the hand-off on the *survivor count* (the paper's change
+vs [GP90]) keeps failure-free runs constant-round, while a
+round-number trigger pays its worst-case R + t + 1 tail whether or not
+failures occur.
+"""
+
+from conftest import run_experiment
+
+from repro.harness.ablations import ablation_a2_det_handoff
+
+
+def test_a2_det_handoff(benchmark):
+    table = run_experiment(benchmark, ablation_a2_det_handoff)
+    rows = {(row[0], row[1]): row for row in table.rows}
+    synran_benign = rows[("synran (survivor-count)", "benign")][2]
+    gp_benign = rows[("gp-hybrid (round-number)", "benign")][2]
+    assert synran_benign <= 8
+    assert gp_benign > 4 * synran_benign
+    # No variant may violate consensus.
+    assert all(row[4] == 0 for row in table.rows)

@@ -1,0 +1,24 @@
+"""A3 (DESIGN.md ✦): the STOP stability fraction (paper: 1/10).
+
+Claim: the stricter the stability requirement, the more the bleed
+adversary must crash per window, so the stall length is monotone
+decreasing in the fraction; the paper's 1/10 is the laxest value
+inside Lemma 4.2's safety margin.
+"""
+
+from conftest import run_experiment
+
+from repro.harness.ablations import ablation_a3_stop_rule
+
+
+def test_a3_stop_rule(benchmark):
+    table = run_experiment(benchmark, ablation_a3_stop_rule)
+    fractions = table.column("stop_fraction")
+    rounds = table.column("mean rounds")
+    assert fractions == sorted(fractions)
+    assert rounds == sorted(rounds, reverse=True), (
+        "stall should shrink as the STOP rule loosens"
+    )
+    margins = table.column("within Lemma-4.2 margin")
+    assert margins[fractions.index(0.1)] is True
+    assert margins[-1] is False

@@ -1,0 +1,23 @@
+"""A4 (DESIGN.md ✦): decomposing the tally attack.
+
+Claim: split mode is nearly free but short-lived (the one-side bias
+kills it at the first below-window coin landing); bleed mode buys the
+stall; the combined attack is at least as strong as either part.
+"""
+
+from conftest import run_experiment
+
+from repro.harness.ablations import ablation_a4_attack_modes
+
+
+def test_a4_attack_modes(benchmark):
+    table = run_experiment(benchmark, ablation_a4_attack_modes)
+    rows = {row[0]: row for row in table.rows}
+    benign = rows["none (benign)"][1]
+    split = rows["split-only"][1]
+    bleed = rows["bleed-only"][1]
+    combined = rows["combined"][1]
+    assert split < 4 * benign, "split alone should die quickly"
+    assert bleed > 10 * benign, "bleed should carry the stall"
+    assert combined >= bleed - 1e-9
+    assert combined >= split - 1e-9

@@ -1,0 +1,22 @@
+"""E10 (Lemma 2.1's engine): Schechtman blow-up at the paper's radius.
+
+Claim: any set of measure at least 1/n blown up by
+``h = 4 sqrt(n log n)`` covers all but 1/n of the space — verified
+exactly on isoperimetric near-extremal threshold sets.
+"""
+
+from conftest import run_experiment
+
+from repro.harness.experiments import experiment_e10_concentration
+
+
+def test_e10_concentration(benchmark):
+    table = run_experiment(benchmark, experiment_e10_concentration)
+    assert table.rows
+    assert all(table.column(">= 1-1/n")), (
+        "the blow-up inequality failed at the paper's parameters"
+    )
+    for bound, exact in zip(
+        table.column("schechtman bound"), table.column("exact Pr(B(A,h))")
+    ):
+        assert exact >= bound

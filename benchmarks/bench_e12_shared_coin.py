@@ -1,0 +1,30 @@
+"""E12 (§1.2 extension): a [CMS89]-style shared coin on the adversary
+matrix.
+
+Claims: BeaconRan decides in O(1) rounds against every non-adaptive
+schedule — including the calibrated drip that stalls plain SynRan for
+its full bleed term — and only an adaptive (beacon-assassinating)
+adversary restores a stall, paying a per-round budget tax for it.
+"""
+
+from conftest import run_experiment
+
+from repro.harness.experiments import experiment_e12_shared_coin
+
+
+def test_e12_shared_coin(benchmark):
+    table = run_experiment(benchmark, experiment_e12_shared_coin)
+    rows = {(row[0], row[1]): row for row in table.rows}
+    oblivious = "oblivious-calibrated"
+    adaptive = "anti-beacon (adaptive)"
+
+    assert rows[("beacon-ran", oblivious)][3] <= 6, (
+        "the shared coin should neutralise every oblivious schedule"
+    )
+    assert rows[("synran", oblivious)][3] > 5 * (
+        rows[("beacon-ran", oblivious)][3]
+    ), "plain synran should suffer the calibrated oblivious stall"
+    assert rows[("beacon-ran", adaptive)][3] > 3 * (
+        rows[("beacon-ran", oblivious)][3]
+    ), "adaptivity should restore a stall against beacon-ran"
+    assert all(row[4] == 0 for row in table.rows)

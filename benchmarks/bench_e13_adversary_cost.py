@@ -1,0 +1,24 @@
+"""E13 (Lemma 4.6): the adversary's per-block cost floor.
+
+Claim: the adversary's mean spend per 3-round block, while SynRan is
+alive, is at least sqrt(p log p)/16 — the accounting from which
+Theorem 2's O(t/sqrt(n log n)) expected-round bound follows.
+"""
+
+from conftest import run_experiment
+
+from repro.harness.experiments import experiment_e13_adversary_cost
+
+
+def test_e13_adversary_cost(benchmark):
+    table = run_experiment(benchmark, experiment_e13_adversary_cost)
+    ratios = table.column("spend/floor")
+    assert all(r >= 1.0 for r in ratios), (
+        "the attack's mean spend must respect the Lemma 4.6 floor"
+    )
+    # The below-floor blocks (free split-mode rounds) must be a
+    # minority: the lemma is an in-expectation statement.
+    for blocks, below in zip(
+        table.column("blocks"), table.column("blocks below floor")
+    ):
+        assert below < blocks / 2

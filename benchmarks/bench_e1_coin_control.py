@@ -1,0 +1,18 @@
+"""E1 (Corollary 2.2): one-round coin-game control probability.
+
+Claim: with more than ``k * 4 * sqrt(n log n)`` hidings, an adaptive
+fail-stop adversary forces *some* outcome of any one-round game with
+probability greater than ``1 - 1/n``.
+"""
+
+from conftest import run_experiment
+
+from repro.harness.experiments import experiment_e1_coin_control
+
+
+def test_e1_coin_control(benchmark):
+    table = run_experiment(benchmark, experiment_e1_coin_control)
+    assert table.rows, "experiment produced no rows"
+    assert all(table.column("met")), (
+        "some game was not controllable at the Lemma 2.1 budget"
+    )

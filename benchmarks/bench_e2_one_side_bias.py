@@ -1,0 +1,23 @@
+"""E2 (§2.1): the one-side bias of majority-with-default-zero.
+
+Claim: the game can be biased towards 0 essentially always, but
+towards 1 only when the coins already landed that way — the structural
+asymmetry SynRan's coin rule is built on.
+"""
+
+from conftest import run_experiment
+
+from repro.harness.experiments import experiment_e2_one_side_bias
+
+
+def test_e2_one_side_bias(benchmark):
+    table = run_experiment(benchmark, experiment_e2_one_side_bias)
+    p0 = table.column("P(force 0)")
+    p1 = table.column("P(force 1)")
+    assert all(a > 0.99 for a in p0), "force-0 should be near-certain"
+    assert all(b < 0.6 for b in p1), (
+        "force-1 should be capped by the base rate"
+    )
+    assert all(a > b + 0.3 for a, b in zip(p0, p1)), (
+        "the asymmetry should be large"
+    )

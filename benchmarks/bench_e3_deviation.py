@@ -1,0 +1,21 @@
+"""E3 (Lemma 4.4 / Corollary 4.5): binomial deviation lower bound.
+
+Claim: ``Pr(x - E(x) >= t sqrt(n)) >= e^{-4(t+1)^2} / sqrt(2 pi)`` for
+``t < sqrt(n)/8`` — the explicit non-asymptotic bound the upper-bound
+proof charges the adversary with.
+"""
+
+from conftest import run_experiment
+
+from repro.harness.experiments import experiment_e3_deviation
+
+
+def test_e3_deviation(benchmark):
+    table = run_experiment(benchmark, experiment_e3_deviation)
+    assert table.rows
+    assert all(table.column("exact>=bound")), (
+        "the Lemma 4.4 inequality failed somewhere"
+    )
+    # The empirical estimate should track the exact tail closely.
+    for exact, emp in zip(table.column("exact"), table.column("empirical")):
+        assert abs(exact - emp) < 0.02

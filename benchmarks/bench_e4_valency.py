@@ -1,0 +1,24 @@
+"""E4 (Lemmas 3.1–3.5): exact valency classification of tiny systems.
+
+Claim: unanimous initial states are univalent (Validity), and some
+initial state is non-univalent (Lemma 3.5) — computed exactly by
+expectimax over the restricted adversary class.
+"""
+
+from conftest import run_experiment
+
+from repro.harness.experiments import experiment_e4_valency
+
+
+def test_e4_valency(benchmark):
+    table = run_experiment(benchmark, experiment_e4_valency)
+    classes = dict(zip(
+        ("".join(map(str, row[0])) if not isinstance(row[0], str) else row[0]
+         for row in table.rows),
+        table.column("class"),
+    ))
+    assert classes["000"] == "0-valent"
+    assert classes["111"] == "1-valent"
+    assert any(c == "bivalent" for c in classes.values()), (
+        "Lemma 3.5: a non-univalent initial state must exist"
+    )

@@ -1,0 +1,26 @@
+"""E6 (Theorem 2): SynRan's expected rounds at t = n.
+
+Claim shape: O(t / sqrt(n log n)) expected rounds against *any*
+fail-stop adversary; measured as the worst mean over the implemented
+adversary suite, fitted against the Theorem-2 shape.
+"""
+
+from conftest import run_experiment
+
+from repro.harness.experiments import experiment_e6_upper_bound
+
+
+def test_e6_upper_bound(benchmark):
+    table = run_experiment(benchmark, experiment_e6_upper_bound)
+    ratios = table.column("ratio")
+    # The measured/shape ratio must stay bounded (the O(.) constant):
+    # a protocol that violated Theorem 2 would show a ratio growing
+    # with n; we allow a generous fixed constant.
+    assert all(r < 16 for r in ratios), (
+        f"ratio to the Theorem-2 shape exploded: {ratios}"
+    )
+    # Benign runs decide in a handful of rounds regardless of n.
+    benign = [
+        row[3] for row in table.rows if row[2] == "benign"
+    ]
+    assert all(r <= 8 for r in benign)

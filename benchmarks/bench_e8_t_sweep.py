@@ -1,0 +1,32 @@
+"""E8 (Theorem 3): the full t-sweep — Θ(t / sqrt(n log(2 + t/sqrt n))).
+
+Claims: a flat O(1) region for t = O(sqrt n) (the [BO83] regime) and
+growth beyond it, tracking the Theorem-3 shape.
+"""
+
+import math
+
+from conftest import run_experiment
+
+from repro.harness.experiments import experiment_e8_t_sweep
+
+
+def test_e8_t_sweep(benchmark):
+    table = run_experiment(benchmark, experiment_e8_t_sweep)
+    ts = table.column("t")
+    rounds = table.column("mean rounds")
+    by_t = dict(zip(ts, rounds))
+    n = 1024
+    sqrt_n = int(math.sqrt(n))
+
+    # Flat O(1) region: t <= sqrt(n) costs no more than a few rounds.
+    small = [r for t, r in by_t.items() if t <= sqrt_n]
+    assert all(r <= 8 for r in small), f"no O(1) region: {by_t}"
+
+    # Monotone growth towards t = n, ending well above the flat region.
+    assert by_t[n] > 10 * max(small)
+    big_ts = sorted(t for t in by_t if t >= sqrt_n)
+    big_rounds = [by_t[t] for t in big_ts]
+    assert big_rounds == sorted(big_rounds), (
+        f"rounds should grow with t: {by_t}"
+    )

@@ -1,0 +1,19 @@
+"""E9 (§3.1 definitions): Agreement / Validity / Termination fuzz grid.
+
+Claim: SynRan (any t <= n), FloodSet (any t), and Ben-Or (t < n/2)
+satisfy all three consensus conditions with probability 1; the grid
+must report zero violations.
+"""
+
+from conftest import run_experiment
+
+from repro.harness.experiments import experiment_e9_correctness
+
+
+def test_e9_correctness(benchmark):
+    table = run_experiment(benchmark, experiment_e9_correctness)
+    assert table.rows
+    assert all(v == 0 for v in table.column("violations")), (
+        "consensus-condition violations detected"
+    )
+    assert sum(table.column("runs")) >= 500

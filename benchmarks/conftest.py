@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_E<k>_*.py`` module regenerates one experiment table from
+DESIGN.md §5 (quick scale), asserts the paper's claim on its contents,
+and reports the wall-clock through pytest-benchmark.  Experiments are
+end-to-end measurements, so every benchmark runs exactly once
+(``pedantic`` with one round) — the interesting number is the table,
+not the timing jitter.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from repro.harness.report import Table, render_table
+
+
+def run_experiment(benchmark, experiment, scale: str = "quick") -> Table:
+    """Execute one experiment under the benchmark timer and print it."""
+    table = benchmark.pedantic(
+        experiment, args=(scale,), rounds=1, iterations=1
+    )
+    print()
+    print(render_table(table))
+    return table

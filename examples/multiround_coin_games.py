@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Multi-round coin flipping under fail-stop halting (paper §1.2).
+
+The paper notes that from Aspnes' multi-round results, "by halting
+O(sqrt(n) log n) processes the adversary can bias the game to one of
+the possible outcomes with probability greater than (1 - 1/n)".  This
+script plays iterated-majority games at several halting budgets and
+shows the takeover: from a fair coin at budget 0 to near-certain
+control at the O(sqrt(n) * rounds) budget.
+
+Usage::
+
+    python examples/multiround_coin_games.py [n]
+"""
+
+import math
+import random
+import sys
+
+from repro.coinflip.multiround import (
+    GreedyBiasAdversary,
+    MultiRoundCoinGame,
+    PassiveMultiAdversary,
+    bias_probability,
+)
+
+
+def main() -> int:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 441
+    rounds = max(3, int(math.log2(n) // 2) | 1)  # odd, ~log n / 2
+    game = MultiRoundCoinGame(n, rounds)
+    sqrt_n = int(math.sqrt(n))
+    budgets = [0, sqrt_n // 2, sqrt_n, 2 * sqrt_n, rounds * sqrt_n]
+    trials = 400
+
+    print(
+        f"iterated majority: n={n}, rounds={rounds}, "
+        f"target outcome = 0, {trials} trials per budget"
+    )
+    print(f"{'budget':>8}  {'~ in sqrt(n) units':>18}  {'P(outcome=0)':>13}")
+    for budget in budgets:
+        if budget == 0:
+            factory = PassiveMultiAdversary
+        else:
+            factory = lambda budget=budget: GreedyBiasAdversary(
+                budget, target=0
+            )
+        p = bias_probability(
+            game, factory, 0, trials=trials, rng=random.Random(17)
+        )
+        print(
+            f"{budget:>8}  {budget / sqrt_n:>18.1f}  {p:>13.3f}"
+        )
+    print()
+    print(
+        "Each flipped round costs a binomial deviation (~sqrt(n)/2\n"
+        "halts), so ~rounds x sqrt(n) total buys every round — the\n"
+        "O(sqrt(n) log n) budget of the conclusion the paper cites\n"
+        "from [Asp97]. Lemma 2.1 then sharpens the one-round case."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

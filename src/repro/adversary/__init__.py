@@ -1,0 +1,41 @@
+"""Fail-stop adversaries for the synchronous model.
+
+All adversaries here are *adaptive, strongly-dynamic, full-information*
+(the survey taxonomy the paper cites): they see every local state, every
+coin already flipped, and every pending message before choosing which
+processes crash during the round's message exchange, and per victim,
+which subset of its round messages is still delivered.
+
+* :class:`~repro.adversary.benign.BenignAdversary` — crashes nobody.
+* :class:`~repro.adversary.static.StaticAdversary` — scripted schedule.
+* :class:`~repro.adversary.random_crash.RandomCrashAdversary` — random
+  failure injection for fuzz-style correctness testing.
+* :class:`~repro.adversary.antisynran.TallyAttackAdversary` — the
+  Section-3-style attack on tally protocols: keeps every receiver's
+  1-count inside the coin-flip window (the execution bivalent) at
+  minimum crash cost, implementing the "bias the one-round coin game"
+  strategy of Lemma 3.1 concretely for SynRan-shaped protocols.
+* :class:`~repro.adversary.lowerbound.ExactValencyAdversary` — the
+  computationally-unbounded adversary of the lower-bound proof,
+  realised by exhaustive game-tree search; tractable for tiny systems.
+"""
+
+from repro.adversary.base import Adversary
+from repro.adversary.benign import BenignAdversary
+from repro.adversary.static import StaticAdversary
+from repro.adversary.random_crash import RandomCrashAdversary
+from repro.adversary.antisynran import TallyAttackAdversary
+from repro.adversary.antibeacon import AntiBeaconAdversary
+from repro.adversary.benorattack import BenOrQuorumAdversary
+from repro.adversary.lowerbound import ExactValencyAdversary
+
+__all__ = [
+    "Adversary",
+    "AntiBeaconAdversary",
+    "BenOrQuorumAdversary",
+    "BenignAdversary",
+    "ExactValencyAdversary",
+    "RandomCrashAdversary",
+    "StaticAdversary",
+    "TallyAttackAdversary",
+]

@@ -1,0 +1,70 @@
+"""Adaptive counter to the beacon shared coin: assassinate beacons.
+
+BeaconRan (:mod:`repro.protocols.beacon`) is fast against non-adaptive
+adversaries because some self-elected beacon usually delivers a common
+coin to everyone.  The adaptive answer is embarrassingly direct: the
+beacons *announce themselves* in Phase A (their payload carries the
+coin), so a full-information adversary crashes every beacon silently —
+paying ``beacon_rate`` crashes per round — and then plays the ordinary
+tally attack on what remains.  The shared coin never lands, BeaconRan
+degrades to SynRan-with-a-tax-on-the-adversary, and experiment E12
+shows exactly that trade: obliviously unbeatable, adaptively ordinary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List
+
+from repro.adversary.antisynran import TallyAttackAdversary
+from repro.sim.model import FailureDecision, RoundView
+
+__all__ = ["AntiBeaconAdversary"]
+
+
+class AntiBeaconAdversary(TallyAttackAdversary):
+    """Kill all announced beacons, then run the tally attack.
+
+    Accepts both BeaconRan's ``("BBIT", b, coin)`` and plain
+    ``("BIT", b)`` payloads, so it can drive either protocol.
+    """
+
+    name = "anti-beacon"
+
+    def on_round(self, view: RoundView) -> FailureDecision:
+        budget = view.budget_remaining
+        if budget <= 0:
+            return FailureDecision.none()
+
+        beacons: List[int] = []
+        translated: Dict[int, object] = {}
+        for pid, payload in view.payloads.items():
+            if (
+                isinstance(payload, tuple)
+                and len(payload) == 3
+                and payload[0] == "BBIT"
+            ):
+                translated[pid] = ("BIT", payload[1])
+                if payload[2] is not None:
+                    beacons.append(pid)
+            else:
+                translated[pid] = payload
+
+        shadow = RoundView(
+            round_index=view.round_index,
+            n=view.n,
+            alive=view.alive,
+            states=view.states,
+            payloads=translated,
+            budget_remaining=budget,
+            inputs=view.inputs,
+        )
+        base = super().on_round(shadow)
+
+        deliveries: Dict[int, FrozenSet[int]] = dict(base.deliveries)
+        for pid in sorted(beacons):
+            if pid in deliveries:
+                continue
+            if len(deliveries) >= budget:
+                break
+            deliveries[pid] = frozenset()
+        return FailureDecision(deliveries=deliveries)

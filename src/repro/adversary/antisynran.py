@@ -1,0 +1,281 @@
+"""The tally attack: a concrete, implementable lower-bound adversary for
+SynRan-shaped protocols.
+
+The paper's Theorem-1 adversary is computationally unbounded (it
+evaluates exact min/max decision probabilities over all adversary
+strategies).  This module implements the two strategies the paper's own
+analysis identifies as what that adversary *does* against a tally
+protocol, using full information but only polynomial computation:
+
+**Split mode** (the Lemma-3.1 "bias the round's coin game" strategy).
+While the announced 1-count ``O`` is at or above the coin-flip window
+``(propose_lo, propose_hi] * prev``, silently crash just enough
+1-senders to trim every receiver's view into the window, so every
+process flips a coin and the execution stays bivalent.  The one-side
+bias makes this window *bottom-anchored*: the window's lower edge
+equals the binomial mean, so roughly half of all rounds land below it
+and cannot be repaired by hiding messages (an adversary can only lower
+tallies, never raise them) — at which point the attack switches to:
+
+**Bleed mode** (the Lemma-4.1 remark: "it must fail 1/10 of the
+remaining processes every 4 rounds").  Once proposals become unanimous,
+every process tentatively decides each round and STOPs as soon as the
+population is stable (``N^{r-3} - N^r <= N^{r-2}/10``).  Bleed mode
+crashes, just in time and only when some process would otherwise STOP,
+exactly enough senders to break the stability inequality for every
+tentative decider, until either the budget runs out or the survivor
+count falls below the deterministic-stage threshold (at which point the
+game is over and spending more is pointless).
+
+The cost accounting matches the paper's upper-bound analysis: SynRan
+cannot be stalled below the Theorem-2 bound, and this adversary's
+forced-round measurements in experiment E5 are therefore a certified
+*lower* estimate of the true (unbounded) adversary's power.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro._math import deterministic_stage_threshold
+from repro.adversary.base import Adversary
+from repro.errors import ConfigurationError
+from repro.protocols.synran import Stage, SynRanState
+from repro.sim.model import FailureDecision, RoundView
+
+__all__ = ["TallyAttackAdversary"]
+
+
+class TallyAttackAdversary(Adversary):
+    """Greedy full-information attack on SynRan-style tally protocols.
+
+    Args:
+        t: Total crash budget.
+        propose_lo: The protocol's lower coin-window fraction (paper:
+            0.5).  Must match the protocol under attack.
+        propose_hi: The upper coin-window fraction (paper: 0.6).
+        stop_fraction: The protocol's STOP stability fraction (paper:
+            0.1).
+        enable_split: Run split mode while feasible (disable to measure
+            bleed mode alone in ablations).
+        enable_bleed: Run bleed mode when split mode ends (disable to
+            measure split mode alone).
+    """
+
+    name = "tally-attack"
+
+    def __init__(
+        self,
+        t: int,
+        *,
+        propose_lo: float = 0.5,
+        propose_hi: float = 0.6,
+        stop_fraction: float = 0.1,
+        enable_split: bool = True,
+        enable_bleed: bool = True,
+    ) -> None:
+        super().__init__(t)
+        if not 0.0 < propose_lo < propose_hi < 1.0:
+            raise ConfigurationError(
+                f"need 0 < propose_lo < propose_hi < 1, got "
+                f"{propose_lo}, {propose_hi}"
+            )
+        if not 0.0 < stop_fraction < 1.0:
+            raise ConfigurationError(
+                f"stop_fraction must be in (0, 1), got {stop_fraction}"
+            )
+        self.propose_lo = propose_lo
+        self.propose_hi = propose_hi
+        self.stop_fraction = stop_fraction
+        self.enable_split = enable_split
+        self.enable_bleed = enable_bleed
+
+    # ------------------------------------------------------------------
+
+    def on_round(self, view: RoundView) -> FailureDecision:
+        budget = view.budget_remaining
+        if budget <= 0:
+            return FailureDecision.none()
+
+        senders_bits = self._bit_senders(view)
+        if senders_bits is None:
+            return FailureDecision.none()
+        one_senders, zero_senders = senders_bits
+        p = len(one_senders) + len(zero_senders)
+
+        receivers = self._probabilistic_receivers(view)
+        if not receivers:
+            return FailureDecision.none()
+
+        # Endgame: once fewer senders remain than the deterministic
+        # threshold, the hand-off fires regardless; save the budget.
+        if p < deterministic_stage_threshold(view.n):
+            return FailureDecision.none()
+
+        if self.enable_split:
+            split = self._try_split(
+                view, receivers, one_senders, zero_senders, budget
+            )
+            if split is not None:
+                return split
+
+        if self.enable_bleed:
+            return self._bleed(
+                view, receivers, one_senders, zero_senders, budget
+            )
+        return FailureDecision.none()
+
+    # ------------------------------------------------------------------
+    # view parsing
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _bit_senders(
+        view: RoundView,
+    ) -> Optional[Tuple[List[int], List[int]]]:
+        """Split senders into 1-senders and 0-senders; ``None`` when the
+        payloads are not BIT-tagged (deterministic-stage endgame)."""
+        ones: List[int] = []
+        zeros: List[int] = []
+        for pid, payload in view.payloads.items():
+            if (
+                not isinstance(payload, tuple)
+                or len(payload) != 2
+                or payload[0] != "BIT"
+            ):
+                continue
+            if payload[1] == 1:
+                ones.append(pid)
+            else:
+                zeros.append(pid)
+        if not ones and not zeros:
+            return None
+        return ones, zeros
+
+    @staticmethod
+    def _probabilistic_receivers(view: RoundView) -> List[int]:
+        """Alive processes still in the probabilistic stage."""
+        out = []
+        for pid in view.alive:
+            state = view.states[pid]
+            if (
+                isinstance(state, SynRanState)
+                and state.stage == Stage.PROBABILISTIC
+            ):
+                out.append(pid)
+        return sorted(out)
+
+    @staticmethod
+    def _prev_count(state: SynRanState, round_index: int) -> int:
+        """``N_i^{r-1}`` for a probabilistic-stage receiver."""
+        return state.received_count(round_index - 1)
+
+    # ------------------------------------------------------------------
+    # split mode
+    # ------------------------------------------------------------------
+
+    def _try_split(
+        self,
+        view: RoundView,
+        receivers: List[int],
+        one_senders: List[int],
+        zero_senders: List[int],
+        budget: int,
+    ) -> Optional[FailureDecision]:
+        """Trim the 1-count into every receiver's coin window, or return
+        ``None`` when that is infeasible (too low, no zeros, or too
+        expensive), handing control to bleed mode."""
+        ones = len(one_senders)
+        zeros = len(zero_senders)
+        if zeros == 0:
+            # The one-side bias clause: with no zeros in existence every
+            # receiver proposes 1 no matter what we hide.  Split mode
+            # cannot continue.
+            return None
+
+        # With silent crashes every receiver sees the same counts, so a
+        # single target works for all; use the tightest window.
+        min_prev = min(
+            self._prev_count(view.states[pid], view.round_index)
+            for pid in receivers
+        )
+        window_hi = math.floor(self.propose_hi * min_prev)
+        window_lo = math.floor(self.propose_lo * min_prev) + 1
+        if window_hi < window_lo:
+            return None  # empty integer window at this scale
+        if ones < window_lo:
+            return None  # landed below the window; cannot raise
+        if ones <= window_hi:
+            return FailureDecision.none()  # already inside, free round
+
+        excess = ones - window_hi
+        if excess > budget:
+            return None
+        victims = one_senders[:excess]
+        return FailureDecision.silence(victims)
+
+    # ------------------------------------------------------------------
+    # bleed mode
+    # ------------------------------------------------------------------
+
+    def _bleed(
+        self,
+        view: RoundView,
+        receivers: List[int],
+        one_senders: List[int],
+        zero_senders: List[int],
+        budget: int,
+    ) -> FailureDecision:
+        """Crash just enough senders, silently, that every receiver that
+        would STOP this round fails its stability check instead."""
+        p = len(one_senders) + len(zero_senders)
+        r = view.round_index
+        kills_needed = 0
+        for pid in receivers:
+            state = view.states[pid]
+            if not state.tentative_decided:
+                continue
+            n3 = state.received_count(r - 3)
+            n2 = state.received_count(r - 2)
+            # STOP fires iff N(r-3) - N(r) <= N(r-2) * stop_fraction,
+            # i.e. iff N(r) >= n3 - n2 * stop_fraction.  With k silent
+            # crashes every receiver sees N(r) = p - k, so we need
+            # p - k < n3 - n2 * stop_fraction.
+            bound = n3 - n2 * self.stop_fraction
+            if p < bound:
+                continue  # already unstable enough
+            k = math.floor(p - bound) + 1
+            kills_needed = max(kills_needed, k)
+
+        if kills_needed == 0:
+            return FailureDecision.none()
+        if kills_needed > budget:
+            # Cannot stop every stopper; partial bleeding only slows a
+            # subset while others STOP and drag the rest along — the
+            # budget is better saved.  Concede.
+            return FailureDecision.none()
+        if kills_needed >= p:
+            # Killing everyone ends the execution instantly; pointless.
+            return FailureDecision.none()
+
+        # Prefer crashing senders that are NOT tentative deciders (they
+        # are still sending and their silence shrinks everyone's N),
+        # falling back to deciders if needed.
+        pool = [
+            pid
+            for pid in one_senders + zero_senders
+            if not (
+                isinstance(view.states[pid], SynRanState)
+                and view.states[pid].tentative_decided
+            )
+        ]
+        if len(pool) < kills_needed:
+            extra = [
+                pid
+                for pid in one_senders + zero_senders
+                if pid not in set(pool)
+            ]
+            pool = pool + extra
+        victims = pool[:kills_needed]
+        return FailureDecision.silence(victims)

@@ -1,0 +1,49 @@
+"""Adversary interface.
+
+An adversary instance is bound to a crash budget ``t`` at construction
+and re-armed by the engine (via :meth:`Adversary.reset`) before every
+execution, so one instance can drive many Monte-Carlo runs.
+
+The engine — not the adversary — owns budget accounting and raises
+:class:`~repro.errors.BudgetExceededError` on overdraft; adversaries
+read ``view.budget_remaining`` to plan.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.sim.model import FailureDecision, RoundView
+
+__all__ = ["Adversary"]
+
+
+class Adversary(abc.ABC):
+    """Abstract fail-stop adversary with total crash budget ``t``."""
+
+    name: str = "abstract"
+
+    def __init__(self, t: int) -> None:
+        if t < 0:
+            raise ConfigurationError(f"budget t must be >= 0, got {t}")
+        self.t = t
+        self.n: Optional[int] = None
+        self.rng: random.Random = random.Random(0)
+
+    def reset(self, n: int, rng: random.Random) -> None:
+        """Re-arm for a fresh execution of an ``n``-process system.
+
+        Subclasses overriding this must call ``super().reset(n, rng)``.
+        """
+        self.n = n
+        self.rng = rng
+
+    @abc.abstractmethod
+    def on_round(self, view: RoundView) -> FailureDecision:
+        """Choose this round's failures given the full-information view."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r} t={self.t}>"

@@ -1,0 +1,25 @@
+"""The adversary that never crashes anybody.
+
+Used to measure failure-free round complexity (SynRan decides in a
+constant number of rounds without interference) and as the base case in
+correctness grids.
+"""
+
+from __future__ import annotations
+
+from repro.adversary.base import Adversary
+from repro.sim.model import FailureDecision, RoundView
+
+__all__ = ["BenignAdversary"]
+
+
+class BenignAdversary(Adversary):
+    """Crashes nothing; any budget (including 0) is accepted."""
+
+    name = "benign"
+
+    def __init__(self, t: int = 0) -> None:
+        super().__init__(t)
+
+    def on_round(self, view: RoundView) -> FailureDecision:
+        return FailureDecision.none()

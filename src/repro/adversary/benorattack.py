@@ -1,0 +1,122 @@
+"""Quorum-trimming attack on classic Ben-Or (the symmetric-coin baseline).
+
+The paper's motivation (§1): against a full-information adaptive
+fail-stop adversary, Ben-Or's protocol is only fast for t = O(sqrt(n)).
+This adversary realises the folklore attack behind that statement:
+
+* **Report rounds** — if some value's report count exceeds the absolute
+  ``n/2`` quorum, silently crash just enough of its reporters to pull
+  the count back to ``floor(n/2)``, so no process can form a proposal.
+  The expected overshoot of a fair binomial above its mean is
+  Θ(sqrt(p)), so each two-round phase pair costs the adversary
+  Θ(sqrt(p)) crashes — stalling for Θ(t / sqrt(n)) phase pairs, which
+  for t = Θ(n) is Θ(sqrt(n)) rounds, strictly more than SynRan concedes
+  under the same budget (experiments E5/E7).
+
+* **Propose rounds** — normally free (trimming prevented proposals).
+  If proposals slipped through (budget shortfall), crash all proposers
+  if affordable — otherwise concede and let the protocol finish.
+
+Note the self-limiting economics: the quorum is *absolute* (``n/2`` of
+the original population) while the sender count ``p`` shrinks as the
+budget is spent, so per-round trim cost falls as the attack proceeds;
+when ``p`` approaches ``n/2`` the protocol can no longer form quorums at
+all and livelocks — which is exactly Ben-Or's ``t < n/2`` resilience
+ceiling, and the engine reports it as a termination timeout.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.adversary.base import Adversary
+from repro.sim.model import FailureDecision, RoundView
+
+__all__ = ["BenOrQuorumAdversary"]
+
+
+class BenOrQuorumAdversary(Adversary):
+    """Silently trims report quorums and proposal thresholds.
+
+    Args:
+        t: Total crash budget.
+        decide_threshold: The protocol's ``t + 1`` decision threshold —
+            pass the *protocol's* configured ``t`` here via
+            :meth:`for_protocol` so the trim targets line up.
+    """
+
+    name = "benor-quorum-attack"
+
+    def __init__(self, t: int, *, decide_threshold: Optional[int] = None) -> None:
+        super().__init__(t)
+        self.decide_threshold = (
+            decide_threshold if decide_threshold is not None else t + 1
+        )
+
+    @classmethod
+    def for_protocol(cls, t: int, protocol) -> "BenOrQuorumAdversary":
+        """Build with the decision threshold of a ``BenOrProtocol``."""
+        return cls(t, decide_threshold=protocol.t + 1)
+
+    def on_round(self, view: RoundView) -> FailureDecision:
+        budget = view.budget_remaining
+        if budget <= 0:
+            return FailureDecision.none()
+
+        reports: Dict[int, List[int]] = {0: [], 1: []}
+        proposers: List[int] = []
+        for pid, payload in view.payloads.items():
+            if not isinstance(payload, tuple) or len(payload) != 2:
+                continue
+            tag, value = payload
+            if tag == "D":
+                # Somebody already decided; the game is over.
+                return FailureDecision.none()
+            if tag == "R" and value in (0, 1):
+                reports[value].append(pid)
+            elif tag == "P" and value is not None:
+                proposers.append(pid)
+
+        if reports[0] or reports[1]:
+            return self._trim_reports(view, reports, budget)
+        if proposers:
+            return self._suppress_proposals(view, proposers, budget)
+        return FailureDecision.none()
+
+    # ------------------------------------------------------------------
+
+    def _trim_reports(
+        self,
+        view: RoundView,
+        reports: Dict[int, List[int]],
+        budget: int,
+    ) -> FailureDecision:
+        """Pull any above-quorum report count down to ``floor(n/2)``."""
+        quorum_cap = view.n // 2  # count must exceed n/2 to propose
+        victims: List[int] = []
+        for value in (0, 1):
+            count = len(reports[value])
+            excess = count - quorum_cap
+            if excess > 0:
+                victims.extend(reports[value][:excess])
+        if not victims:
+            return FailureDecision.none()
+        if len(victims) > budget:
+            return FailureDecision.none()  # cannot afford; concede
+        return FailureDecision.silence(victims)
+
+    def _suppress_proposals(
+        self,
+        view: RoundView,
+        proposers: List[int],
+        budget: int,
+    ) -> FailureDecision:
+        """Crash proposal senders: all of them if affordable (keeps every
+        process on the coin path), else down to below the decision
+        threshold, else concede."""
+        if len(proposers) <= budget:
+            return FailureDecision.silence(proposers)
+        over_threshold = len(proposers) - (self.decide_threshold - 1)
+        if 0 < over_threshold <= budget:
+            return FailureDecision.silence(proposers[:over_threshold])
+        return FailureDecision.none()

@@ -1,0 +1,111 @@
+"""The lower-bound adversary, exactly: play the optimal strategy.
+
+The paper's Section-3 adversary is computationally unbounded — it
+consults the exact min/max decision probabilities of every reachable
+state.  For tiny systems those quantities are computable
+(:class:`repro.analysis.valency.ValencyAnalyzer`), so this adversary
+*plays* the optimum inside the simulation engine:
+
+* ``objective="rounds"`` (default) — at every round pick the failure
+  action maximising the exact expected decision round: the strongest
+  possible staller in its action class, the quantity Theorem 1 lower
+  bounds.
+* ``objective="decide1"`` with ``target`` 0 or 1 — pick actions
+  minimising/maximising Pr[decide 1]: the forcing strategies the
+  valency classification is built from (§3.3–3.5).
+
+Tractable only for tiny ``n`` (the expectimax is exponential); the E4
+benchmark runs it at ``n <= 4``, where it certifies that the heuristic
+adversaries in this package are within a small factor of optimal.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Tuple
+
+from repro.adversary.base import Adversary
+from repro.analysis.valency import ValencyAnalyzer
+from repro.errors import ConfigurationError
+from repro.sim.model import FailureDecision, RoundView
+
+__all__ = ["ExactValencyAdversary"]
+
+
+class ExactValencyAdversary(Adversary):
+    """Optimal-play adversary backed by exhaustive expectimax.
+
+    Args:
+        t: Total crash budget (the analyzer requires ``t < n``).
+        protocol: The protocol instance under attack — the adversary
+            simulates it forward, which a full-information adversary is
+            entitled to do.
+        n: System size (keep <= 4).
+        objective: ``"rounds"`` (stall) or ``"decide1"`` (force).
+        target: For ``objective="decide1"``: the value to force.
+        max_failures_per_round: Per-round crash cap of the strategy
+            class searched.
+        delivery_modes: Crash delivery patterns searched; see
+            :class:`ValencyAnalyzer`.
+        horizon: Analysis round cap.
+    """
+
+    name = "exact-valency"
+
+    def __init__(
+        self,
+        t: int,
+        protocol,
+        n: int,
+        *,
+        objective: str = "rounds",
+        target: Optional[int] = None,
+        max_failures_per_round: int = 1,
+        delivery_modes: Tuple[str, ...] = ("silent", "full"),
+        horizon: int = 64,
+        node_limit: int = 2_000_000,
+    ) -> None:
+        super().__init__(t)
+        if objective == "decide1" and target not in (0, 1):
+            raise ConfigurationError(
+                "objective='decide1' needs target 0 or 1, got "
+                f"{target!r}"
+            )
+        if objective == "rounds" and target is not None:
+            raise ConfigurationError(
+                "objective='rounds' does not take a target"
+            )
+        self.objective = objective
+        self.target = target
+        self._analyzer = ValencyAnalyzer(
+            protocol,
+            n,
+            budget=t,
+            max_failures_per_round=max_failures_per_round,
+            delivery_modes=delivery_modes,
+            horizon=horizon,
+            node_limit=node_limit,
+            objective=objective,
+        )
+
+    def reset(self, n: int, rng: random.Random) -> None:
+        super().reset(n, rng)
+        if n != self._analyzer.n:
+            raise ConfigurationError(
+                f"adversary was built for n={self._analyzer.n}, engine "
+                f"has n={n}"
+            )
+        # Keep the memo across executions: keys encode full state, so
+        # reuse is sound and makes repeated Monte-Carlo runs cheap.
+
+    def on_round(self, view: RoundView) -> FailureDecision:
+        if view.budget_remaining <= 0:
+            return FailureDecision.none()
+        minimize = self.objective == "decide1" and self.target == 0
+        return self._analyzer.best_action(
+            dict(view.states),
+            frozenset(view.alive),
+            view.budget_remaining,
+            view.round_index,
+            minimize,
+        )

@@ -1,0 +1,208 @@
+"""Non-adaptive (oblivious) fail-stop adversaries.
+
+The paper's §1.2: "Chor, Merritt and Shmoys [CMS89] provide a
+randomized O(1) expected number of rounds protocol for non-adaptive
+fail-stop adversaries.  In particular this shows that our lower bound
+does not hold without the adaptive selection of the faulty processes."
+
+A *non-adaptive* adversary must commit to its entire crash schedule —
+who dies in which round, with which delivery subset — before the
+execution starts, i.e. without ever seeing a coin.  This module
+implements that class so experiment E11 can demonstrate the paper's
+point empirically: the best oblivious schedule (maximised over many
+sampled schedules) forces only O(1) rounds on SynRan, while the
+adaptive tally attack with the same budget forces Θ-of-the-bound.
+
+Why obliviousness is so weak here: SynRan's dangerous moments are
+determined by the *coins* (which rounds land in the tally window, when
+tentative deciders check stability).  A schedule fixed in advance hits
+those moments only by luck, and the protocol recovers from any
+coin-uncorrelated crash pattern within a constant expected number of
+rounds.
+
+Schedule generators provided:
+
+* :func:`uniform_schedule` — budget spread uniformly at random over
+  processes and a round window.
+* :func:`burst_schedule` — the whole budget dropped in one
+  predetermined round.
+* :func:`drip_schedule` — a constant number of crashes every round
+  until the budget runs out (the oblivious mimic of bleed mode).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, FrozenSet, List, Optional
+
+from repro.adversary.base import Adversary
+from repro.errors import ConfigurationError
+from repro.sim.model import FailureDecision, RoundView
+
+__all__ = [
+    "ObliviousAdversary",
+    "Schedule",
+    "burst_schedule",
+    "calibrated_drip_schedule",
+    "drip_schedule",
+    "uniform_schedule",
+]
+
+#: A committed crash plan: round index -> victim -> recipients that
+#: still receive the victim's final message.
+Schedule = Dict[int, Dict[int, FrozenSet[int]]]
+
+
+def uniform_schedule(
+    n: int, t: int, rng: random.Random, *, window: int = 64
+) -> Schedule:
+    """Spread the budget uniformly over processes and ``window`` rounds."""
+    victims = rng.sample(range(n), min(t, n))
+    schedule: Schedule = {}
+    for victim in victims:
+        round_index = rng.randrange(window)
+        schedule.setdefault(round_index, {})[victim] = frozenset()
+    return schedule
+
+
+def burst_schedule(
+    n: int, t: int, rng: random.Random, *, round_index: Optional[int] = None
+) -> Schedule:
+    """Crash the whole budget in one predetermined round."""
+    if round_index is None:
+        round_index = rng.randrange(8)
+    victims = rng.sample(range(n), min(t, n))
+    return {round_index: {v: frozenset() for v in victims}}
+
+
+def drip_schedule(
+    n: int, t: int, rng: random.Random, *, per_round: int = 1
+) -> Schedule:
+    """Crash ``per_round`` random processes each round until spent."""
+    if per_round < 1:
+        raise ConfigurationError(
+            f"per_round must be >= 1, got {per_round}"
+        )
+    victims = rng.sample(range(n), min(t, n))
+    schedule: Schedule = {}
+    for i in range(0, len(victims), per_round):
+        schedule[i // per_round] = {
+            v: frozenset() for v in victims[i : i + per_round]
+        }
+    return schedule
+
+
+def calibrated_drip_schedule(
+    n: int,
+    t: int,
+    rng: random.Random,
+    *,
+    stop_fraction: float = 0.1,
+    start_round: int = 3,
+) -> Schedule:
+    """The bleed attack, precomputed — no coins consulted.
+
+    A striking property of SynRan's STOP rule surfaced by the replay
+    tests (``tests/test_replay.py``): the stability inequality
+    ``N^{r-3} - N^r <= N^{r-2}/10`` depends only on *message counts*,
+    and under silent crashes those counts follow a deterministic
+    recursion of the kill schedule itself (``N(r) = p(r) - k(r)``,
+    ``p(r+1) = p(r) - k(r)``).  The just-in-time bleed pattern is
+    therefore computable entirely in advance: this generator replays
+    the arithmetic of
+    :class:`~repro.adversary.antisynran.TallyAttackAdversary`'s bleed
+    mode on that recursion and commits the result as an oblivious
+    schedule.
+
+    What it captures and what it cannot: the schedule recovers the
+    log-order *bleed* stall (which dominates at simulation scales) for
+    every coin outcome in which no process STOPs before
+    ``start_round`` (a Θ(1) probability tail loses a few rounds); it
+    cannot play the coin-*window* game of split mode, which is the
+    component carrying the asymptotic Ω(t/√(n log n)) and genuinely
+    requires adaptivity (experiment E11).
+    """
+    from repro._math import deterministic_stage_threshold
+
+    if not 0.0 < stop_fraction < 1.0:
+        raise ConfigurationError(
+            f"stop_fraction must be in (0, 1), got {stop_fraction}"
+        )
+    if start_round < 0:
+        raise ConfigurationError(
+            f"start_round must be >= 0, got {start_round}"
+        )
+    threshold = deterministic_stage_threshold(n)
+    schedule: Schedule = {}
+    victims = list(range(n))  # which pids die is immaterial
+    spent = 0
+    history = {-1: n, 0: n}  # N(r) with the paper's convention
+    p = n
+    r = 0
+    while spent < t and p >= threshold:
+        k = 0
+        if r >= start_round:
+            n3 = history.get(r - 3, n)
+            n2 = history.get(r - 2, n)
+            bound = n3 - stop_fraction * n2
+            if p >= bound:
+                k = int(p - bound) + 1
+        k = min(k, t - spent, max(0, p - 1))
+        if k:
+            schedule[r] = {
+                victims[spent + i]: frozenset() for i in range(k)
+            }
+            spent += k
+        history[r] = p - k
+        p -= k
+        r += 1
+        if r > 16 * n + 64:  # pragma: no cover - defensive
+            break
+    return schedule
+
+
+class ObliviousAdversary(Adversary):
+    """Commits to a generated schedule before each execution.
+
+    Args:
+        t: Crash budget.
+        generator: ``generator(n, t, rng) -> Schedule``; called once
+            per execution at :meth:`reset` time — i.e. before any coin
+            is flipped — with an rng derived from the engine's master
+            seed.  The adversary never reads anything from the round
+            views except the alive set (victims that already died or
+            halted are skipped, which leaks no information).
+    """
+
+    name = "oblivious"
+
+    def __init__(
+        self,
+        t: int,
+        generator: Callable[[int, int, random.Random], Schedule],
+    ) -> None:
+        super().__init__(t)
+        self.generator = generator
+        self._schedule: Schedule = {}
+
+    def reset(self, n: int, rng: random.Random) -> None:
+        super().reset(n, rng)
+        schedule = self.generator(n, self.t, rng)
+        total = sum(len(round_plan) for round_plan in schedule.values())
+        if total > self.t:
+            raise ConfigurationError(
+                f"oblivious schedule crashes {total} processes; budget "
+                f"is {self.t}"
+            )
+        self._schedule = schedule
+
+    def on_round(self, view: RoundView) -> FailureDecision:
+        plan = self._schedule.get(view.round_index)
+        if not plan:
+            return FailureDecision.none()
+        applicable = {
+            victim: recipients
+            for victim, recipients in plan.items()
+            if victim in view.alive
+        }
+        return FailureDecision(deliveries=applicable)

@@ -1,0 +1,96 @@
+"""Random failure injection, for fuzz-style correctness testing (E9).
+
+Each round, every alive process independently crashes with probability
+``rate`` (subject to the remaining budget); a crashing process delivers
+to a uniformly random subset of recipients, exercising the
+partial-broadcast semantics that most consensus bugs hide behind.
+
+This adversary makes no attempt to be smart — its job is coverage:
+across many seeds it hits silent crashes, full-delivery crashes, single
+survivors, simultaneous mass crashes, and crash bursts in every protocol
+stage.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.adversary.base import Adversary
+from repro.errors import ConfigurationError
+from repro.sim.model import FailureDecision, RoundView
+
+__all__ = ["RandomCrashAdversary"]
+
+
+class RandomCrashAdversary(Adversary):
+    """Crashes each alive process w.p. ``rate`` per round until ``t`` spent.
+
+    Args:
+        t: Total crash budget.
+        rate: Per-process per-round crash probability in ``[0, 1]``.
+        silent_probability: Probability that a crashing process delivers
+            to *nobody*; otherwise it delivers to a uniformly random
+            subset of the receivers (each receiver kept w.p. 1/2).
+        burst_probability: Probability, per round, of attempting a
+            "burst": crashing as many processes as the remaining budget
+            allows in a single round — the scenario that stresses
+            deterministic-stage hand-off.
+    """
+
+    name = "random-crash"
+
+    def __init__(
+        self,
+        t: int,
+        *,
+        rate: float = 0.05,
+        silent_probability: float = 0.5,
+        burst_probability: float = 0.0,
+    ) -> None:
+        super().__init__(t)
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError(f"rate must be in [0, 1], got {rate}")
+        if not 0.0 <= silent_probability <= 1.0:
+            raise ConfigurationError(
+                f"silent_probability must be in [0, 1], got "
+                f"{silent_probability}"
+            )
+        if not 0.0 <= burst_probability <= 1.0:
+            raise ConfigurationError(
+                f"burst_probability must be in [0, 1], got "
+                f"{burst_probability}"
+            )
+        self.rate = rate
+        self.silent_probability = silent_probability
+        self.burst_probability = burst_probability
+
+    def on_round(self, view: RoundView) -> FailureDecision:
+        budget = view.budget_remaining
+        if budget <= 0:
+            return FailureDecision.none()
+        alive = sorted(view.alive)
+
+        if (
+            self.burst_probability
+            and self.rng.random() < self.burst_probability
+        ):
+            victims = self.rng.sample(alive, min(budget, len(alive)))
+        else:
+            victims = [
+                pid for pid in alive if self.rng.random() < self.rate
+            ]
+            if len(victims) > budget:
+                victims = self.rng.sample(victims, budget)
+
+        deliveries = {}
+        for victim in victims:
+            if self.rng.random() < self.silent_probability:
+                deliveries[victim] = frozenset()
+            else:
+                deliveries[victim] = frozenset(
+                    pid
+                    for pid in alive
+                    if pid != victim and self.rng.random() < 0.5
+                )
+        return FailureDecision(deliveries=deliveries)

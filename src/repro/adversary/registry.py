@@ -1,0 +1,79 @@
+"""Name-based adversary construction for the harness and CLI.
+
+Factories take ``(n, t, protocol)`` — some adversaries need the
+protocol under attack (the exact-play adversary simulates it; the
+Ben-Or trimmer reads its decision threshold).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.adversary.antibeacon import AntiBeaconAdversary
+from repro.adversary.antisynran import TallyAttackAdversary
+from repro.adversary.base import Adversary
+from repro.adversary.benign import BenignAdversary
+from repro.adversary.benorattack import BenOrQuorumAdversary
+from repro.adversary.lowerbound import ExactValencyAdversary
+from repro.adversary.random_crash import RandomCrashAdversary
+from repro.errors import ConfigurationError
+
+__all__ = ["available_adversaries", "make_adversary", "register_adversary"]
+
+_FACTORIES: Dict[str, Callable[[int, int, object], Adversary]] = {
+    "benign": lambda n, t, proto: BenignAdversary(t),
+    "random": lambda n, t, proto: RandomCrashAdversary(t, rate=0.1),
+    "burst": lambda n, t, proto: RandomCrashAdversary(
+        t, rate=0.05, burst_probability=0.2
+    ),
+    "tally-attack": lambda n, t, proto: TallyAttackAdversary(t),
+    "tally-split-only": lambda n, t, proto: TallyAttackAdversary(
+        t, enable_bleed=False
+    ),
+    "tally-bleed-only": lambda n, t, proto: TallyAttackAdversary(
+        t, enable_split=False
+    ),
+    "anti-beacon": lambda n, t, proto: AntiBeaconAdversary(t),
+    "benor-quorum": lambda n, t, proto: BenOrQuorumAdversary(
+        t,
+        decide_threshold=(getattr(proto, "t", t) + 1),
+    ),
+    "exact-stall": lambda n, t, proto: ExactValencyAdversary(
+        t, proto, n, objective="rounds"
+    ),
+}
+
+
+def available_adversaries() -> List[str]:
+    """Sorted names accepted by :func:`make_adversary`."""
+    return sorted(_FACTORIES)
+
+
+def make_adversary(name: str, n: int, t: int, protocol) -> Adversary:
+    """Build the named adversary for an ``n``-process run with budget
+    ``t`` against ``protocol``.
+
+    Raises:
+        ConfigurationError: unknown name.
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown adversary {name!r}; available: "
+            f"{', '.join(available_adversaries())}"
+        ) from None
+    return factory(n, t, protocol)
+
+
+def register_adversary(
+    name: str, factory: Callable[[int, int, object], Adversary]
+) -> None:
+    """Register a custom adversary factory.
+
+    Raises:
+        ConfigurationError: if the name is already taken.
+    """
+    if name in _FACTORIES:
+        raise ConfigurationError(f"adversary {name!r} already registered")
+    _FACTORIES[name] = factory

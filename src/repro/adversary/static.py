@@ -1,0 +1,77 @@
+"""Scripted adversary: a fixed crash schedule, optionally with partial
+delivery patterns.
+
+Useful for regression tests that pin down an exact failure scenario
+(e.g. the round-0 mass-silencing attack that breaks the symmetric-coin
+ablation's Validity) and for replaying schedules mined from traces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Union
+
+from repro.adversary.base import Adversary
+from repro.errors import ConfigurationError
+from repro.sim.model import FailureDecision, RoundView
+
+__all__ = ["StaticAdversary"]
+
+#: Per-round schedule entry: either an iterable of pids to crash
+#: silently, or an explicit mapping victim -> recipients that still
+#: receive its message.
+ScheduleEntry = Union[Iterable[int], Mapping[int, Iterable[int]]]
+
+
+class StaticAdversary(Adversary):
+    """Crash exactly the scheduled processes in the scheduled rounds.
+
+    Args:
+        t: Crash budget; must cover the whole schedule.
+        schedule: Mapping from round index to a :data:`ScheduleEntry`.
+            Victims that already crashed or halted by their scheduled
+            round are skipped silently (the schedule is a plan, not an
+            assertion about the execution).
+
+    Example::
+
+        StaticAdversary(t=3, schedule={
+            0: [4, 7],              # silent crashes in round 0
+            2: {1: [0, 2]},         # crash 1, deliver only to 0 and 2
+        })
+    """
+
+    name = "static"
+
+    def __init__(self, t: int, schedule: Mapping[int, ScheduleEntry]) -> None:
+        super().__init__(t)
+        normalized: Dict[int, Dict[int, frozenset]] = {}
+        total = 0
+        for round_index, entry in schedule.items():
+            if round_index < 0:
+                raise ConfigurationError(
+                    f"schedule round must be >= 0, got {round_index}"
+                )
+            if isinstance(entry, Mapping):
+                plan = {
+                    int(v): frozenset(rs) for v, rs in entry.items()
+                }
+            else:
+                plan = {int(v): frozenset() for v in entry}
+            normalized[round_index] = plan
+            total += len(plan)
+        if total > t:
+            raise ConfigurationError(
+                f"schedule crashes {total} processes but budget is {t}"
+            )
+        self.schedule = normalized
+
+    def on_round(self, view: RoundView) -> FailureDecision:
+        plan = self.schedule.get(view.round_index)
+        if not plan:
+            return FailureDecision.none()
+        applicable = {
+            victim: recipients
+            for victim, recipients in plan.items()
+            if victim in view.alive
+        }
+        return FailureDecision(deliveries=applicable)

@@ -1,0 +1,82 @@
+"""Theory-side analysis: closed-form bounds, tail estimates,
+isoperimetric blow-up, statistics, and exact valency computation.
+
+These modules carry the paper's *mathematical* claims, as opposed to
+the simulation-side packages that carry its *algorithmic* content:
+
+* :mod:`repro.analysis.bounds` — the Θ(t/√(n log(2+t/√n))) family.
+* :mod:`repro.analysis.deviation` — Lemma 4.4's explicit binomial
+  lower tail-deviation bound and exact/empirical comparisons.
+* :mod:`repro.analysis.concentration` — Schechtman-style blow-up
+  measure on product spaces (the engine of Lemma 2.1).
+* :mod:`repro.analysis.valency` — exact min/max decision probabilities
+  over restricted adversaries for tiny systems: the probabilistic
+  bivalence machinery of Section 3, made computable.
+* :mod:`repro.analysis.stats` — Monte-Carlo summaries and shape fits
+  used by the experiment harness.
+"""
+
+from repro.analysis.bounds import (
+    expected_rounds_theta,
+    lower_bound_rounds_thm1,
+    upper_bound_rounds_thm2,
+)
+from repro.analysis.deviation import (
+    corollary45_bound,
+    empirical_deviation_probability,
+    exact_deviation_probability,
+    lemma44_bound,
+)
+from repro.analysis.concentration import (
+    blowup_probability_threshold_set,
+    sampled_blowup_probability,
+    schechtman_l0,
+    schechtman_lower_bound,
+)
+from repro.analysis.lemma21 import (
+    blowup,
+    lemma21_certificate,
+    uncontrollable_set,
+)
+from repro.analysis.markov import (
+    absorption_rounds,
+    band_of,
+    expected_decision_round,
+)
+from repro.analysis.stats import Summary, fit_ratio, summarize, wilson_interval
+from repro.analysis.valency import (
+    Classification,
+    ValencyAnalyzer,
+    ValencyReport,
+    classify,
+    paper_epsilon,
+)
+
+__all__ = [
+    "Classification",
+    "Summary",
+    "ValencyAnalyzer",
+    "ValencyReport",
+    "absorption_rounds",
+    "band_of",
+    "blowup",
+    "expected_decision_round",
+    "blowup_probability_threshold_set",
+    "classify",
+    "corollary45_bound",
+    "empirical_deviation_probability",
+    "exact_deviation_probability",
+    "expected_rounds_theta",
+    "fit_ratio",
+    "lemma21_certificate",
+    "lemma44_bound",
+    "lower_bound_rounds_thm1",
+    "paper_epsilon",
+    "sampled_blowup_probability",
+    "schechtman_l0",
+    "schechtman_lower_bound",
+    "summarize",
+    "uncontrollable_set",
+    "upper_bound_rounds_thm2",
+    "wilson_interval",
+]

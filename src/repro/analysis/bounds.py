@@ -1,0 +1,77 @@
+"""Closed forms of the paper's round-complexity bounds.
+
+These are the reference curves experiments fit against.  All are
+asymptotic Θ/Ω/O statements; the functions return the *shape* (the
+expression inside the Θ), and experiment fits estimate the constant.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Tuple
+
+from repro._math import (
+    expected_rounds_bound,
+    lower_bound_rounds,
+)
+
+__all__ = [
+    "expected_rounds_theta",
+    "lower_bound_rounds_thm1",
+    "upper_bound_rounds_thm2",
+    "bound_series",
+]
+
+
+def expected_rounds_theta(n: int, t: int) -> float:
+    """Theorem 3's two-sided bound shape: ``t / sqrt(n log(2 + t/sqrt n))``.
+
+    The paper's headline: for any ``t < n`` SynRan reaches agreement in
+    Θ of this many expected rounds, and no protocol does better.
+    Notable regimes:
+
+    * ``t = O(sqrt n)`` — the argument of the log is Θ(1), the whole
+      expression is O(1): constant expected rounds, matching [BO83].
+    * ``t = Θ(n)`` — the expression is Θ(sqrt(n / log n)), the
+      Corollary 3.6 / Theorem 2 regime.
+    """
+    return expected_rounds_bound(n, t)
+
+
+def lower_bound_rounds_thm1(n: int, t: int) -> float:
+    """Theorem 1's forced-round count ``t / (4 sqrt(n log n) + 1)``.
+
+    The number of rounds the Section-3 adversary sustains with
+    probability greater than ``1 - 1/sqrt(log n)``.
+    """
+    return lower_bound_rounds(n, t)
+
+
+def upper_bound_rounds_thm2(n: int, t: int) -> float:
+    """Theorem 2's expected-rounds shape ``t / sqrt(n log n)`` for
+    ``t = Ω(n)`` (the paper's probabilistic-stage accounting), plus the
+    deterministic tail of at most ``sqrt(n / log n)`` rounds."""
+    log_n = max(math.log(n), 1.0)
+    return t / math.sqrt(n * log_n) + math.sqrt(n / log_n)
+
+
+def bound_series(
+    pairs: Iterable[Tuple[int, int]], which: str = "theta"
+) -> List[float]:
+    """Evaluate one of the bounds over ``(n, t)`` pairs.
+
+    ``which`` is one of ``"theta"`` (Theorem 3), ``"lower"``
+    (Theorem 1), ``"upper"`` (Theorem 2).
+    """
+    funcs = {
+        "theta": expected_rounds_theta,
+        "lower": lower_bound_rounds_thm1,
+        "upper": upper_bound_rounds_thm2,
+    }
+    try:
+        f = funcs[which]
+    except KeyError:
+        raise ValueError(
+            f"unknown bound {which!r}; expected one of {sorted(funcs)}"
+        ) from None
+    return [f(n, t) for n, t in pairs]

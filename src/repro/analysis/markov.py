@@ -1,0 +1,124 @@
+"""Exact benign-case round analysis of SynRan via its Markov chain.
+
+Without failures every process sees the same tallies, so the whole
+population moves as one: the execution is a Markov chain on the
+current 1-count ``o`` (out of ``n`` broadcast bits, with ``N = n``
+forever and the STOP stability test always passing).  The cascade
+partitions ``o`` into bands:
+
+* **decide band** (``o > decide_hi·n`` or ``o < decide_lo·n``):
+  everyone adopts the value and tentatively decides this round, then
+  STOPs the next — 2 rounds to absorption.
+* **propose band** (``propose_hi·n < o ≤ decide_hi·n`` or
+  ``decide_lo·n ≤ o < propose_lo·n``): everyone adopts the value; the
+  next round is unanimous, hence in the decide band — 3 rounds.
+* **coin band** (everything else, zeros permitting): everyone flips,
+  the next count is Binomial(n, 1/2), and the chain recurses.
+
+Writing ``q`` for the probability a fresh binomial lands back in the
+coin band and ``m`` for the expected absorption length of a non-coin
+landing, the coin band's expected length solves
+``E = 1 + q·E + (1-q)·m``.  That closed form gives the *exact*
+expected decision round for any input split — the analytic
+cross-check for the simulators (both engines are validated against it
+in the tests), and the formal content of "SynRan decides in O(1)
+expected rounds without an adversary".
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.protocols.synran import SynRanProtocol
+
+__all__ = [
+    "band_of",
+    "absorption_rounds",
+    "expected_decision_round",
+]
+
+#: Band labels returned by :func:`band_of`.
+DECIDE = "decide"
+PROPOSE = "propose"
+COIN = "coin"
+
+
+def band_of(proto: SynRanProtocol, n: int, ones: int) -> str:
+    """Which cascade band a unanimous-view 1-count falls into.
+
+    Mirrors ``SynRanProtocol._update_choice`` with ``prev = n`` (the
+    benign case): the same strict/non-strict comparisons, including
+    the one-side-bias clause (which, at ``prev = n``, can only fire at
+    ``ones = n`` where the decide-1 band already applies — so it never
+    changes a benign band, but is included for non-default thresholds).
+    """
+    if not 0 <= ones <= n:
+        raise ConfigurationError(
+            f"ones must be in [0, n]={n}, got {ones}"
+        )
+    zeros = n - ones
+    if ones > proto.decide_hi * n:
+        return DECIDE
+    if ones > proto.propose_hi * n:
+        return PROPOSE
+    if proto.one_side_bias and zeros == 0:
+        return PROPOSE
+    if ones < proto.decide_lo * n:
+        return DECIDE
+    if ones < proto.propose_lo * n:
+        return PROPOSE
+    return COIN
+
+
+def _binomial_pmf(n: int, k: int) -> float:
+    return float(Fraction(math.comb(n, k), 1 << n))
+
+
+def absorption_rounds(
+    proto: SynRanProtocol, n: int, ones: int
+) -> float:
+    """Expected number of rounds until every process has decided,
+    starting from a round whose broadcast carries ``ones`` 1s.
+
+    Decide band: 2 (tentative this round, STOP next).  Propose band:
+    3 (unanimity next round, then decide, then STOP).  Coin band: the
+    closed form above.  Exact up to float rounding of the binomial
+    masses.
+    """
+    band = band_of(proto, n, ones)
+    if band == DECIDE:
+        return 2.0
+    if band == PROPOSE:
+        return 3.0
+    # Coin band: E = (1 + sum_{o' not in C} P(o') L(o')) / (1 - q).
+    q = 0.0
+    non_coin_mass = 0.0
+    for o_next in range(n + 1):
+        p = _binomial_pmf(n, o_next)
+        next_band = band_of(proto, n, o_next)
+        if next_band == COIN:
+            q += p
+        else:
+            length = 2.0 if next_band == DECIDE else 3.0
+            non_coin_mass += p * length
+    if q >= 1.0 - 1e-12:
+        raise ConfigurationError(
+            "the coin band absorbs the whole binomial: the benign "
+            "chain never terminates (degenerate thresholds)"
+        )
+    return (1.0 + non_coin_mass) / (1.0 - q)
+
+
+def expected_decision_round(
+    proto: SynRanProtocol, inputs: Sequence[int]
+) -> float:
+    """Exact expected (0-indexed) decision round on ``inputs`` with no
+    failures: ``absorption_rounds`` of the input 1-count, minus one."""
+    n = len(inputs)
+    if n < 1:
+        raise ConfigurationError("inputs must be non-empty")
+    ones = sum(1 for x in inputs if x == 1)
+    return absorption_rounds(proto, n, ones) - 1.0

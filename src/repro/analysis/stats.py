@@ -1,0 +1,127 @@
+"""Monte-Carlo statistics used by the experiment harness.
+
+Small and dependency-light on purpose: summaries with normal-theory
+confidence intervals for means, Wilson intervals for proportions, and
+a through-the-origin ratio fit for comparing measured round counts to
+theoretical bound shapes (the experiments test *shape*, so the fit
+exposes the multiplicative constant and a dispersion measure for it).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Summary", "summarize", "wilson_interval", "fit_ratio"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean / spread summary of a sample.
+
+    Attributes:
+        count: Sample size.
+        mean: Sample mean.
+        std: Sample standard deviation (ddof=1; 0 for singletons).
+        ci95_half_width: Half-width of the normal-approximation 95%
+            confidence interval for the mean.
+        minimum: Smallest observation.
+        maximum: Largest observation.
+    """
+
+    count: int
+    mean: float
+    std: float
+    ci95_half_width: float
+    minimum: float
+    maximum: float
+
+    @property
+    def ci95(self) -> Tuple[float, float]:
+        return (
+            self.mean - self.ci95_half_width,
+            self.mean + self.ci95_half_width,
+        )
+
+
+def summarize(samples: Sequence[float]) -> Summary:
+    """Summarise a non-empty sample."""
+    if not samples:
+        raise ConfigurationError("cannot summarise an empty sample")
+    count = len(samples)
+    mean = sum(samples) / count
+    if count > 1:
+        var = sum((x - mean) ** 2 for x in samples) / (count - 1)
+        std = math.sqrt(var)
+    else:
+        std = 0.0
+    half = 1.96 * std / math.sqrt(count) if count > 1 else 0.0
+    return Summary(
+        count=count,
+        mean=mean,
+        std=std,
+        ci95_half_width=half,
+        minimum=min(samples),
+        maximum=max(samples),
+    )
+
+
+def wilson_interval(
+    successes: int, trials: int, *, z: float = 1.96
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Better behaved than the Wald interval at the extreme proportions
+    the coin-control experiments live at (success rates near 1 - 1/n).
+    """
+    if trials < 1:
+        raise ConfigurationError(f"trials must be >= 1, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ConfigurationError(
+            f"successes must be in [0, {trials}], got {successes}"
+        )
+    p = successes / trials
+    z2 = z * z
+    denom = 1.0 + z2 / trials
+    center = (p + z2 / (2 * trials)) / denom
+    half = (
+        z
+        * math.sqrt(p * (1 - p) / trials + z2 / (4 * trials * trials))
+        / denom
+    )
+    return (max(0.0, center - half), min(1.0, center + half))
+
+
+def fit_ratio(
+    measured: Sequence[float], predicted: Sequence[float]
+) -> Tuple[float, float]:
+    """Least-squares constant ``c`` for ``measured ≈ c * predicted``.
+
+    Returns ``(c, relative_rmse)`` where ``relative_rmse`` is the root
+    mean squared residual of ``measured / (c * predicted)`` around 1 —
+    a scale-free dispersion of the shape fit.  Experiments assert the
+    dispersion is small, i.e. the measured series has the predicted
+    *shape*, without constraining the constant.
+    """
+    if len(measured) != len(predicted):
+        raise ConfigurationError(
+            f"series lengths differ: {len(measured)} vs {len(predicted)}"
+        )
+    if not measured:
+        raise ConfigurationError("cannot fit empty series")
+    sxx = sum(p * p for p in predicted)
+    if sxx == 0:
+        raise ConfigurationError("predicted series is identically zero")
+    sxy = sum(m * p for m, p in zip(measured, predicted))
+    c = sxy / sxx
+    if c == 0:
+        return 0.0, float("inf")
+    residuals = [
+        (m / (c * p) - 1.0) if p != 0 else 0.0
+        for m, p in zip(measured, predicted)
+    ]
+    rmse = math.sqrt(sum(r * r for r in residuals) / len(residuals))
+    return c, rmse

@@ -1,0 +1,277 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands:
+
+* ``run`` — execute a protocol against an adversary and report the
+  decision round, verdicts, and crash accounting over seeded trials.
+* ``coin`` — measure one-round game control probabilities (§2).
+* ``valency`` — exact valency scan of a tiny system (§3.2).
+* ``bounds`` — evaluate the paper's closed-form bounds at (n, t).
+* ``experiments`` — the E1..E10 claim-reproduction suite (delegates
+  to :mod:`repro.harness.experiments`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro._math import (
+    adversary_round_budget,
+    deterministic_stage_threshold,
+)
+from repro.adversary.registry import available_adversaries, make_adversary
+from repro.analysis.bounds import (
+    expected_rounds_theta,
+    lower_bound_rounds_thm1,
+    upper_bound_rounds_thm2,
+)
+from repro.analysis.valency import ValencyAnalyzer
+from repro.coinflip.control import find_controllable_outcome
+from repro.coinflip.games import (
+    LeaderGame,
+    MajorityDefaultZeroGame,
+    MajorityGame,
+    ParityGame,
+    QuantileGame,
+)
+from repro.coinflip.library_games import (
+    ThresholdGame,
+    TribesGame,
+)
+from repro.errors import ConfigurationError, ReproError
+from repro.harness.report import Table, render_table
+from repro.harness.runner import run_reference_trials
+from repro.harness.workloads import (
+    half_split,
+    random_inputs,
+    unanimous,
+    worst_case_split,
+)
+from repro.protocols.registry import available_protocols, make_protocol
+
+__all__ = ["main", "build_parser"]
+
+_INPUT_KINDS = ("unanimous0", "unanimous1", "half", "worst", "random")
+
+_GAMES = {
+    "majority": lambda n: MajorityGame(n),
+    "majority-default-0": lambda n: MajorityDefaultZeroGame(n),
+    "parity": lambda n: ParityGame(n),
+    "leader": lambda n: LeaderGame(n),
+    "quantile4": lambda n: QuantileGame(n, k=4),
+    "tribes": lambda n: TribesGame(n, tribe_size=max(1, n // 8)),
+    "threshold": lambda n: ThresholdGame(n, threshold=(n + 1) // 2),
+}
+
+
+def _inputs_factory(kind: str, n: int):
+    if kind == "unanimous0":
+        return lambda rng: unanimous(n, 0)
+    if kind == "unanimous1":
+        return lambda rng: unanimous(n, 1)
+    if kind == "half":
+        return lambda rng: half_split(n)
+    if kind == "worst":
+        return lambda rng: worst_case_split(n)
+    if kind == "random":
+        return lambda rng: random_inputs(n, rng)
+    raise ConfigurationError(f"unknown input kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# subcommand implementations
+# ----------------------------------------------------------------------
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    n, t = args.n, args.t if args.t is not None else args.n
+    protocol_probe = make_protocol(args.protocol, n, t)
+
+    stats = run_reference_trials(
+        lambda: make_protocol(args.protocol, n, t),
+        lambda: make_adversary(args.adversary, n, t, protocol_probe),
+        n,
+        _inputs_factory(args.inputs, n),
+        trials=args.trials,
+        base_seed=args.seed,
+        strict_termination=False,
+    )
+    summary = stats.rounds_summary()
+    table = Table(
+        title=(
+            f"run: {args.protocol} vs {args.adversary} "
+            f"(n={n}, t={t}, inputs={args.inputs}, trials={args.trials})"
+        ),
+        columns=["metric", "value"],
+    )
+    table.add_row("mean decision round", summary.mean)
+    table.add_row("min / max round", f"{summary.minimum:g} / {summary.maximum:g}")
+    table.add_row("ci95 half-width", summary.ci95_half_width)
+    table.add_row("mean crashes", sum(stats.crashes) / len(stats.crashes))
+    table.add_row("timeouts", stats.timeouts)
+    table.add_row("consensus violations", stats.violation_count())
+    decisions = [d for d in stats.decisions if d is not None]
+    if decisions:
+        table.add_row(
+            "decision-1 fraction", sum(decisions) / len(decisions)
+        )
+    print(render_table(table))
+    return 0 if stats.violation_count() == 0 else 1
+
+
+def _cmd_coin(args: argparse.Namespace) -> int:
+    game = _GAMES[args.game](args.n)
+    t = args.t if args.t is not None else min(
+        args.n, adversary_round_budget(args.n) * game.k
+    )
+    report = find_controllable_outcome(game, t, trials=args.trials)
+    table = Table(
+        title=f"coin: {args.game} (n={args.n}, k={game.k}, t={t})",
+        columns=["outcome", "P(control)"],
+    )
+    for v, p in enumerate(report.per_outcome):
+        table.add_row(v, p)
+    table.add_note(
+        f"best outcome {report.best_outcome} at "
+        f"{report.best_probability:.4f}; Cor 2.2 bound 1-1/n = "
+        f"{1 - 1/args.n:.4f}; met: {report.paper_bound_met()}"
+    )
+    print(render_table(table))
+    return 0
+
+
+def _cmd_valency(args: argparse.Namespace) -> int:
+    protocol = make_protocol(args.protocol, args.n, args.budget)
+    analyzer = ValencyAnalyzer(
+        protocol, args.n, budget=args.budget, horizon=args.horizon
+    )
+    table = Table(
+        title=(
+            f"valency: {args.protocol}, n={args.n}, "
+            f"budget={args.budget}, eps={args.epsilon}"
+        ),
+        columns=["inputs", "min Pr[1]", "max Pr[1]", "class"],
+    )
+    for bits, report in sorted(analyzer.scan_initial_states().items()):
+        table.add_row(
+            "".join(map(str, bits)),
+            report.min_p,
+            report.max_p,
+            report.classification(args.epsilon),
+        )
+    print(render_table(table))
+    return 0
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    n, t = args.n, args.t
+    table = Table(
+        title=f"bounds at n={n}, t={t}",
+        columns=["bound", "value"],
+    )
+    table.add_row(
+        "Thm 3  t/sqrt(n log(2+t/sqrt n))", expected_rounds_theta(n, t)
+    )
+    table.add_row(
+        "Thm 1  t/(4 sqrt(n log n)+1)", lower_bound_rounds_thm1(n, t)
+    )
+    table.add_row(
+        "Thm 2  t/sqrt(n log n)+sqrt(n/log n)",
+        upper_bound_rounds_thm2(n, t),
+    )
+    table.add_row(
+        "per-round adversary budget 4 sqrt(n log n)",
+        adversary_round_budget(n),
+    )
+    table.add_row(
+        "det-stage threshold sqrt(n/log n)",
+        deterministic_stage_threshold(n),
+    )
+    print(render_table(table))
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.harness.experiments import main as experiments_main
+
+    forwarded: List[str] = ["--scale", args.scale]
+    if args.only:
+        forwarded += ["--only", *args.only]
+    return experiments_main(forwarded)
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of Bar-Joseph & Ben-Or, 'A Tight Lower Bound "
+            "for Randomized Synchronous Consensus' (PODC 1998)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a protocol vs an adversary")
+    run.add_argument("--protocol", choices=available_protocols(),
+                     default="synran")
+    run.add_argument("--adversary", choices=available_adversaries(),
+                     default="tally-attack")
+    run.add_argument("--n", type=int, default=64)
+    run.add_argument("--t", type=int, default=None,
+                     help="crash budget (default: n)")
+    run.add_argument("--inputs", choices=_INPUT_KINDS, default="worst")
+    run.add_argument("--trials", type=int, default=5)
+    run.add_argument("--seed", type=int, default=0)
+    run.set_defaults(func=_cmd_run)
+
+    coin = sub.add_parser("coin", help="one-round game control (§2)")
+    coin.add_argument("--game", choices=sorted(_GAMES), default="majority")
+    coin.add_argument("--n", type=int, default=1024)
+    coin.add_argument("--t", type=int, default=None,
+                      help="hiding budget (default: Lemma 2.1's)")
+    coin.add_argument("--trials", type=int, default=300)
+    coin.set_defaults(func=_cmd_coin)
+
+    val = sub.add_parser("valency", help="exact valency scan (§3.2)")
+    val.add_argument("--protocol", choices=available_protocols(),
+                     default="synran")
+    val.add_argument("--n", type=int, default=3)
+    val.add_argument("--budget", type=int, default=2)
+    val.add_argument("--epsilon", type=float, default=0.3)
+    val.add_argument("--horizon", type=int, default=40)
+    val.set_defaults(func=_cmd_valency)
+
+    bounds = sub.add_parser("bounds", help="closed-form bounds at (n, t)")
+    bounds.add_argument("--n", type=int, required=True)
+    bounds.add_argument("--t", type=int, required=True)
+    bounds.set_defaults(func=_cmd_bounds)
+
+    exp = sub.add_parser(
+        "experiments", help="the E1..E10 claim-reproduction suite"
+    )
+    exp.add_argument("--scale", choices=("quick", "full"), default="quick")
+    exp.add_argument("--only", nargs="*", default=None)
+    exp.set_defaults(func=_cmd_experiments)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

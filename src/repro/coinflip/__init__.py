@@ -1,0 +1,72 @@
+"""One-round collective coin-flipping games (Section 2 of the paper).
+
+A one-round game has ``n`` players, each drawing a private value from
+its own arbitrary distribution.  After seeing *all* drawn values, an
+adaptive ``t``-adversary may hide up to ``t`` of them (replacing them
+with the default value "—", modelled here by :data:`HIDDEN`), and the
+outcome function ``f`` is applied to the resulting sequence.
+
+The paper's Lemma 2.1 / Corollary 2.2: for any such game with
+``k < sqrt(n)`` outcomes, an adversary allowed more than
+``k * 4 * sqrt(n log n)`` hidings can force *some particular* outcome
+with probability greater than ``1 - 1/n`` — but, in general, only one
+side: simple games (0-1 majority counting "—" as 0) resist bias in the
+other direction.  Both facts are exercised by experiments E1 and E2.
+"""
+
+from repro.coinflip.game import HIDDEN, OneRoundGame
+from repro.coinflip.games import (
+    LeaderGame,
+    MajorityDefaultZeroGame,
+    MajorityGame,
+    ParityGame,
+    QuantileGame,
+    RandomFunctionGame,
+)
+from repro.coinflip.control import (
+    control_probability,
+    exhaustive_force_set,
+    find_controllable_outcome,
+    force_set,
+    greedy_force_set,
+)
+from repro.coinflip.uncontrollable import (
+    estimate_uncontrollable_mass,
+    exact_uncontrollable_mass,
+)
+from repro.coinflip.library_games import (
+    ThresholdGame,
+    TribesGame,
+    WeightedMajorityGame,
+)
+from repro.coinflip.multiround import (
+    GreedyBiasAdversary,
+    MultiRoundCoinGame,
+    PassiveMultiAdversary,
+    bias_probability,
+)
+
+__all__ = [
+    "HIDDEN",
+    "GreedyBiasAdversary",
+    "LeaderGame",
+    "MajorityDefaultZeroGame",
+    "MajorityGame",
+    "MultiRoundCoinGame",
+    "OneRoundGame",
+    "ParityGame",
+    "PassiveMultiAdversary",
+    "QuantileGame",
+    "RandomFunctionGame",
+    "ThresholdGame",
+    "TribesGame",
+    "WeightedMajorityGame",
+    "bias_probability",
+    "control_probability",
+    "estimate_uncontrollable_mass",
+    "exact_uncontrollable_mass",
+    "exhaustive_force_set",
+    "find_controllable_outcome",
+    "force_set",
+    "greedy_force_set",
+]

@@ -1,0 +1,229 @@
+"""Adversary search for one-round games: can ``t`` hidings force ``v``?
+
+Three search strategies, composed by :func:`force_set`:
+
+1. The game's own exact oracle (:meth:`OneRoundGame.force_set`), when
+   the game declares one.
+2. :func:`greedy_force_set` — hill-climbing over single hidings; cheap,
+   sound (a found set is a real witness) but incomplete.
+3. :func:`exhaustive_force_set` — breadth-first over hiding sets up to
+   a configurable combinatorial budget; exact within the budget, used
+   as ground truth for small ``n`` in tests.
+
+On top of the search, :func:`control_probability` Monte-Carlo-estimates
+``Pr[adversary can force v] = 1 - Pr(U^v)`` and
+:func:`find_controllable_outcome` reproduces Corollary 2.2's statement:
+some outcome is controllable with probability greater than ``1 - 1/n``
+when ``t > k * 4 * sqrt(n log n)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence, Set, Tuple
+
+from repro.errors import ConfigurationError
+from repro.coinflip.game import OneRoundGame, hide
+
+__all__ = [
+    "ControlReport",
+    "control_probability",
+    "exhaustive_force_set",
+    "find_controllable_outcome",
+    "force_set",
+    "greedy_force_set",
+]
+
+#: Safety cap on the number of hiding sets the exhaustive search visits.
+DEFAULT_EXHAUSTIVE_BUDGET = 200_000
+
+
+def greedy_force_set(
+    game: OneRoundGame,
+    values: Sequence,
+    target: int,
+    t: int,
+) -> Optional[Set[int]]:
+    """Hill-climb: repeatedly hide the single coordinate that moves the
+    outcome towards ``target`` (reaching it wins; otherwise any change
+    of outcome is taken as progress).  Sound but incomplete."""
+    hidden: Set[int] = set()
+    current = game.outcome(hide(values, hidden))
+    if current == target:
+        return set()
+    while len(hidden) < t:
+        advanced = False
+        fallback: Optional[int] = None
+        for i in range(game.n):
+            if i in hidden:
+                continue
+            candidate = hidden | {i}
+            out = game.outcome(hide(values, candidate))
+            if out == target:
+                return candidate
+            if out != current and fallback is None:
+                fallback = i
+        if fallback is None:
+            return None  # no single hiding changes anything
+        hidden.add(fallback)
+        current = game.outcome(hide(values, hidden))
+        advanced = True
+        if not advanced:  # pragma: no cover - defensive
+            return None
+    return None
+
+
+def exhaustive_force_set(
+    game: OneRoundGame,
+    values: Sequence,
+    target: int,
+    t: int,
+    *,
+    budget: int = DEFAULT_EXHAUSTIVE_BUDGET,
+) -> Optional[Set[int]]:
+    """Search all hiding sets of size 0..t (smallest first).
+
+    Exact when the combinatorial budget suffices; raises
+    :class:`ConfigurationError` when it does not, rather than silently
+    degrading to an incomplete answer.
+    """
+    visited = 0
+    for size in range(0, t + 1):
+        for combo in itertools.combinations(range(game.n), size):
+            visited += 1
+            if visited > budget:
+                raise ConfigurationError(
+                    f"exhaustive search budget {budget} exceeded at "
+                    f"hiding-set size {size} (n={game.n}, t={t}); use "
+                    f"greedy_force_set or a game oracle instead"
+                )
+            if game.outcome(hide(values, set(combo))) == target:
+                return set(combo)
+    return None
+
+
+def force_set(
+    game: OneRoundGame,
+    values: Sequence,
+    target: int,
+    t: int,
+    *,
+    allow_exhaustive: bool = False,
+) -> Optional[Set[int]]:
+    """Find a hiding set of size <= ``t`` forcing ``target``, or ``None``.
+
+    Tries, in order: the game's exact oracle, the greedy search, and
+    (only when ``allow_exhaustive``) the exhaustive search.  ``None``
+    is a proof of impossibility only when the game's oracle is exact or
+    the exhaustive search ran.
+    """
+    if t < 0:
+        raise ConfigurationError(f"t must be >= 0, got {t}")
+    oracle = game.force_set(values, target, t)
+    if oracle is not None:
+        return oracle
+    if game.force_set_exact:
+        return None
+    found = greedy_force_set(game, values, target, t)
+    if found is not None:
+        return found
+    if allow_exhaustive:
+        return exhaustive_force_set(game, values, target, t)
+    return None
+
+
+@dataclass(frozen=True)
+class ControlReport:
+    """Result of a control-probability sweep over one game.
+
+    Attributes:
+        game_name: Class name of the game measured.
+        n: Players.
+        k: Outcomes.
+        t: Hiding budget used.
+        trials: Monte-Carlo sample size.
+        per_outcome: For each outcome ``v``, the estimated probability
+            that the adversary can force ``v`` (``1 - Pr(U^v)``).
+        best_outcome: The outcome with the highest control probability.
+        best_probability: Its control probability.
+    """
+
+    game_name: str
+    n: int
+    k: int
+    t: int
+    trials: int
+    per_outcome: Tuple[float, ...]
+    best_outcome: int
+    best_probability: float
+
+    def paper_bound_met(self) -> bool:
+        """Corollary 2.2's conclusion: control probability > 1 - 1/n."""
+        return self.best_probability > 1.0 - 1.0 / self.n
+
+
+def control_probability(
+    game: OneRoundGame,
+    target: int,
+    t: int,
+    *,
+    trials: int = 1000,
+    rng: Optional[random.Random] = None,
+    allow_exhaustive: bool = False,
+) -> float:
+    """Monte-Carlo estimate of ``Pr[some <=t hiding set forces target]``."""
+    if trials < 1:
+        raise ConfigurationError(f"trials must be >= 1, got {trials}")
+    rng = rng or random.Random(0)
+    wins = 0
+    for _ in range(trials):
+        values = game.sample(rng)
+        if (
+            force_set(
+                game, values, target, t, allow_exhaustive=allow_exhaustive
+            )
+            is not None
+        ):
+            wins += 1
+    return wins / trials
+
+
+def find_controllable_outcome(
+    game: OneRoundGame,
+    t: int,
+    *,
+    trials: int = 1000,
+    rng: Optional[random.Random] = None,
+    allow_exhaustive: bool = False,
+) -> ControlReport:
+    """Measure every outcome's control probability and report the best.
+
+    This is the experimental face of Corollary 2.2: with
+    ``t > k * 4 * sqrt(n log n)`` the report's ``best_probability``
+    should exceed ``1 - 1/n`` for *every* game.
+    """
+    rng = rng or random.Random(0)
+    per_outcome = tuple(
+        control_probability(
+            game,
+            v,
+            t,
+            trials=trials,
+            rng=random.Random(rng.getrandbits(64)),
+            allow_exhaustive=allow_exhaustive,
+        )
+        for v in range(game.k)
+    )
+    best = max(range(game.k), key=lambda v: per_outcome[v])
+    return ControlReport(
+        game_name=type(game).__name__,
+        n=game.n,
+        k=game.k,
+        t=t,
+        trials=trials,
+        per_outcome=per_outcome,
+        best_outcome=best,
+        best_probability=per_outcome[best],
+    )

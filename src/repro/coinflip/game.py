@@ -1,0 +1,102 @@
+"""The one-round game abstraction.
+
+Values are drawn once, the adversary hides a subset, and the outcome
+function maps the partially-hidden sequence to ``range(k)``.  The
+hidden marker :data:`HIDDEN` is a dedicated sentinel (the paper's "—"):
+games must treat it explicitly, because *how* a game treats missing
+values is exactly what determines which outcomes an adversary can
+force.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Any, Optional, Sequence, Set, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["HIDDEN", "OneRoundGame", "hide"]
+
+
+class _Hidden:
+    """Singleton sentinel for a value the adversary replaced with "—"."""
+
+    _instance: Optional["_Hidden"] = None
+
+    def __new__(cls) -> "_Hidden":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "HIDDEN"
+
+
+#: The default value the adversary substitutes for a hidden input.
+HIDDEN = _Hidden()
+
+
+def hide(values: Sequence[Any], hidden: Set[int]) -> Tuple[Any, ...]:
+    """Return ``values`` with the coordinates in ``hidden`` replaced by
+    :data:`HIDDEN` (the paper's ``y_s-bar`` operation)."""
+    return tuple(
+        HIDDEN if i in hidden else v for i, v in enumerate(values)
+    )
+
+
+class OneRoundGame(abc.ABC):
+    """Abstract one-round collective coin-flipping game.
+
+    Attributes:
+        n: Number of players.
+        k: Number of possible outcomes; the outcome function must
+            return values in ``range(k)``.
+    """
+
+    def __init__(self, n: int, k: int) -> None:
+        if n < 1:
+            raise ConfigurationError(f"game needs n >= 1 players, got {n}")
+        if k < 2:
+            raise ConfigurationError(f"game needs k >= 2 outcomes, got {k}")
+        self.n = n
+        self.k = k
+
+    @abc.abstractmethod
+    def sample(self, rng: random.Random) -> Tuple[Any, ...]:
+        """Draw one joint input vector (independent across players)."""
+
+    @abc.abstractmethod
+    def outcome(self, values: Sequence[Any]) -> int:
+        """Apply ``f`` to a (possibly partially hidden) value sequence."""
+
+    # ------------------------------------------------------------------
+    # optional fast paths, overridden by concrete games
+    # ------------------------------------------------------------------
+
+    def force_set(
+        self, values: Sequence[Any], target: int, t: int
+    ) -> Optional[Set[int]]:
+        """Game-specific oracle: a hiding set of size <= ``t`` that forces
+        ``target``, or ``None`` if this oracle cannot find one.
+
+        The default returns ``None``, meaning "no fast oracle; use the
+        generic search in :mod:`repro.coinflip.control`".  A return of
+        ``None`` is *not* proof of impossibility unless the subclass
+        documents its oracle as exact.
+        """
+        return None
+
+    #: Whether :meth:`force_set` is exact (``None`` return proves no
+    #: hiding set of the given size exists).  Generic search trusts
+    #: exact oracles and skips its own exploration.
+    force_set_exact: bool = False
+
+    def outcome_of_hidden(
+        self, values: Sequence[Any], hidden: Set[int]
+    ) -> int:
+        """Convenience: outcome after hiding ``hidden`` coordinates."""
+        return self.outcome(hide(values, hidden))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} n={self.n} k={self.k}>"

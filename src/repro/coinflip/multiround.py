@@ -1,0 +1,260 @@
+"""Multi-round collective coin flipping with a fail-stop adversary.
+
+The paper credits Aspnes [Asp97] with first studying multi-round coin
+flipping games in the fail-stop model, and notes (§1.2) that from his
+results "by halting O(sqrt(n) log n) processes the adversary can bias
+the game to one of the possible outcomes with probability greater than
+(1 - 1/n)"; Lemma 2.1 then sharpens the one-round case.  This module
+provides the multi-round framework so that conclusion can be exercised
+empirically, and so the relationship between per-round control
+(Section 2) and whole-game control is visible in code:
+
+* a :class:`MultiRoundCoinGame` runs ``R`` rounds; in each round every
+  *surviving* player flips a fresh fair coin, the adversary (seeing
+  all coins, as always) permanently halts a set of players — their
+  coins are hidden this round and they flip no more — and a per-round
+  outcome function is applied to the visible coins;
+* a final outcome function combines the ``R`` per-round outcomes.
+
+The default instance is *iterated majority* — majority of per-round
+majorities — the natural multi-round analogue of the games in
+:mod:`repro.coinflip.games` and the shape of SynRan's repeated
+collective coin.
+
+Adversaries:
+
+* :class:`PassiveMultiAdversary` — halts nobody (the fair baseline).
+* :class:`GreedyBiasAdversary` — in each round, if the round outcome
+  differs from its target and can be flipped by halting at most the
+  remaining budget's worth of adverse coins, does so; the direct
+  multi-round extension of the one-round majority oracle.  Its per-
+  round cost is the binomial deviation Θ(sqrt(n)), so over R rounds it
+  needs ≈ R·sqrt(n)/2 halts — which for R = O(log n) rounds matches
+  the O(sqrt(n)·log n) budget of the [Asp97] conclusion.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "GreedyBiasAdversary",
+    "MultiRoundAdversary",
+    "MultiRoundCoinGame",
+    "MultiRoundResult",
+    "PassiveMultiAdversary",
+    "bias_probability",
+    "majority_outcome",
+]
+
+
+def majority_outcome(coins: Sequence[int]) -> int:
+    """Majority of the visible coins; ties and emptiness give 0."""
+    ones = sum(coins)
+    return 1 if 2 * ones > len(coins) else 0
+
+
+@dataclass
+class MultiRoundResult:
+    """Transcript of one multi-round game.
+
+    Attributes:
+        outcome: The final combined outcome.
+        round_outcomes: Per-round outcomes, in order.
+        halts_per_round: How many players the adversary halted each
+            round.
+        survivors: Players still alive at the end.
+    """
+
+    outcome: int
+    round_outcomes: List[int]
+    halts_per_round: List[int]
+    survivors: int
+
+    def total_halts(self) -> int:
+        return sum(self.halts_per_round)
+
+
+class MultiRoundAdversary(abc.ABC):
+    """Fail-stop adversary for multi-round games.
+
+    ``reset`` re-arms for a fresh game; ``on_round`` sees the round's
+    full coin vector (full information) and returns the set of player
+    indices to halt permanently — those coins are hidden this round.
+    """
+
+    def __init__(self, budget: int) -> None:
+        if budget < 0:
+            raise ConfigurationError(
+                f"budget must be >= 0, got {budget}"
+            )
+        self.budget = budget
+        self._spent = 0
+
+    def reset(self) -> None:
+        self._spent = 0
+
+    @property
+    def remaining(self) -> int:
+        return self.budget - self._spent
+
+    def spend(self, count: int) -> None:
+        if count > self.remaining:
+            raise ConfigurationError(
+                f"multi-round adversary overspent: {count} > "
+                f"{self.remaining} remaining"
+            )
+        self._spent += count
+
+    @abc.abstractmethod
+    def on_round(
+        self,
+        round_index: int,
+        coins: Sequence[Tuple[int, int]],
+    ) -> Set[int]:
+        """Choose which players to halt.
+
+        Args:
+            round_index: Zero-based round number.
+            coins: ``(player_id, coin)`` pairs for every surviving
+                player this round.
+
+        Returns:
+            Player ids to halt (must be among the given players and
+            within the remaining budget).
+        """
+
+
+class PassiveMultiAdversary(MultiRoundAdversary):
+    """Halts nobody."""
+
+    def __init__(self) -> None:
+        super().__init__(0)
+
+    def on_round(self, round_index, coins) -> Set[int]:
+        return set()
+
+
+class GreedyBiasAdversary(MultiRoundAdversary):
+    """Flips each adverse round towards ``target`` if affordable.
+
+    For majority-style round outcomes, flipping a round costs the
+    surplus of adverse coins over the tie point — a Θ(sqrt(p)) binomial
+    deviation per round in expectation.
+    """
+
+    def __init__(self, budget: int, target: int) -> None:
+        super().__init__(budget)
+        if target not in (0, 1):
+            raise ConfigurationError(f"target must be a bit, got {target}")
+        self.target = target
+
+    def on_round(self, round_index, coins) -> Set[int]:
+        visible = [c for _, c in coins]
+        if majority_outcome(visible) == self.target:
+            return set()
+        adverse = [pid for pid, c in coins if c != self.target]
+        helpful = len(coins) - len(adverse)
+        # Halting an adverse player removes its coin entirely.  Find
+        # the minimum k of adverse halts that flips the majority.
+        for k in range(1, len(adverse) + 1):
+            remaining = len(coins) - k
+            if self.target == 1:
+                flipped = 2 * helpful > remaining
+            else:
+                flipped = 2 * (len(adverse) - k) <= remaining
+            if flipped:
+                if k > self.remaining:
+                    return set()  # cannot afford this round; concede it
+                self.spend(k)
+                return set(adverse[:k])
+        # Unflippable round (e.g. target 1 with no 1-coins at all —
+        # halting cannot create ones, the §2.1 one-sidedness again).
+        return set()
+
+
+class MultiRoundCoinGame:
+    """``rounds`` iterations of a one-round visible-coin game.
+
+    Args:
+        n: Number of players.
+        rounds: Number of rounds ``R``.
+        round_outcome: Function from the visible coin list to a bit
+            (default: majority).
+        final_outcome: Function from the ``R`` round outcomes to the
+            final result (default: majority).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        rounds: int,
+        *,
+        round_outcome: Callable[[Sequence[int]], int] = majority_outcome,
+        final_outcome: Callable[[Sequence[int]], int] = majority_outcome,
+    ) -> None:
+        if n < 1:
+            raise ConfigurationError(f"n must be >= 1, got {n}")
+        if rounds < 1:
+            raise ConfigurationError(f"rounds must be >= 1, got {rounds}")
+        self.n = n
+        self.rounds = rounds
+        self.round_outcome = round_outcome
+        self.final_outcome = final_outcome
+
+    def play(
+        self,
+        adversary: MultiRoundAdversary,
+        rng: Optional[random.Random] = None,
+    ) -> MultiRoundResult:
+        """Run one game under ``adversary`` and return the transcript."""
+        rng = rng or random.Random(0)
+        adversary.reset()
+        alive = list(range(self.n))
+        round_outcomes: List[int] = []
+        halts: List[int] = []
+        for r in range(self.rounds):
+            coins = [(pid, rng.randrange(2)) for pid in alive]
+            halted = adversary.on_round(r, coins)
+            unknown = halted - {pid for pid, _ in coins}
+            if unknown:
+                raise ConfigurationError(
+                    f"adversary halted non-playing ids {sorted(unknown)}"
+                )
+            visible = [c for pid, c in coins if pid not in halted]
+            round_outcomes.append(self.round_outcome(visible))
+            halts.append(len(halted))
+            alive = [pid for pid in alive if pid not in halted]
+        return MultiRoundResult(
+            outcome=self.final_outcome(round_outcomes),
+            round_outcomes=round_outcomes,
+            halts_per_round=halts,
+            survivors=len(alive),
+        )
+
+
+def bias_probability(
+    game: MultiRoundCoinGame,
+    adversary_factory: Callable[[], MultiRoundAdversary],
+    target: int,
+    *,
+    trials: int = 400,
+    rng: Optional[random.Random] = None,
+) -> float:
+    """Monte-Carlo probability that the adversary lands ``target``."""
+    if trials < 1:
+        raise ConfigurationError(f"trials must be >= 1, got {trials}")
+    rng = rng or random.Random(0)
+    wins = 0
+    for _ in range(trials):
+        result = game.play(
+            adversary_factory(), random.Random(rng.getrandbits(64))
+        )
+        if result.outcome == target:
+            wins += 1
+    return wins / trials

@@ -1,0 +1,107 @@
+"""Measuring ``Pr(U^v)`` — the mass of input vectors the adversary
+cannot steer to outcome ``v``.
+
+Lemma 2.1 states that when ``t > k * 4 * sqrt(n log n)`` there exists an
+outcome ``v`` with ``Pr(U^v) < 1/n``.  These helpers measure that mass:
+
+* :func:`estimate_uncontrollable_mass` — Monte-Carlo over sampled
+  vectors, usable at any ``n`` for games with exact force oracles.
+* :func:`exact_uncontrollable_mass` — full enumeration of the bit-vector
+  space (``2^n`` work), for ground-truth verification at small ``n``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.coinflip.control import force_set
+from repro.coinflip.game import OneRoundGame
+
+__all__ = ["estimate_uncontrollable_mass", "exact_uncontrollable_mass"]
+
+#: Enumerating 2^n vectors beyond this n is a mistake, not a request.
+_MAX_EXACT_N = 20
+
+
+def estimate_uncontrollable_mass(
+    game: OneRoundGame,
+    target: int,
+    t: int,
+    *,
+    trials: int = 1000,
+    rng: Optional[random.Random] = None,
+    allow_exhaustive: bool = False,
+) -> float:
+    """Monte-Carlo estimate of ``Pr(U^target)``.
+
+    ``U^v`` is the set of vectors from which *no* hiding set of size
+    <= ``t`` yields outcome ``v``; this is the complement of
+    :func:`repro.coinflip.control.control_probability`.
+    """
+    if trials < 1:
+        raise ConfigurationError(f"trials must be >= 1, got {trials}")
+    rng = rng or random.Random(0)
+    stuck = 0
+    for _ in range(trials):
+        values = game.sample(rng)
+        if (
+            force_set(
+                game, values, target, t, allow_exhaustive=allow_exhaustive
+            )
+            is None
+        ):
+            stuck += 1
+    return stuck / trials
+
+
+def exact_uncontrollable_mass(
+    game: OneRoundGame,
+    target: int,
+    t: int,
+    *,
+    allow_exhaustive: bool = True,
+) -> float:
+    """Exactly compute ``Pr(U^target)`` for a fair-bit game by
+    enumerating all ``2^n`` vectors.
+
+    Only meaningful for games whose ``sample`` is uniform over bit
+    vectors (all games in :mod:`repro.coinflip.games` with the default
+    ``bias=0.5``); raises for ``n`` too large to enumerate.
+    """
+    if game.n > _MAX_EXACT_N:
+        raise ConfigurationError(
+            f"exact enumeration infeasible for n={game.n} "
+            f"(cap {_MAX_EXACT_N})"
+        )
+    bias = getattr(game, "bias", 0.5)
+    total_mass = 0.0
+    stuck_mass = 0.0
+    for bits in itertools.product((0, 1), repeat=game.n):
+        ones = sum(bits)
+        mass = (bias ** ones) * ((1.0 - bias) ** (game.n - ones))
+        total_mass += mass
+        if (
+            force_set(
+                game, bits, target, t, allow_exhaustive=allow_exhaustive
+            )
+            is None
+        ):
+            stuck_mass += mass
+    # total_mass is 1 up to float error; normalise to be safe.
+    return stuck_mass / total_mass
+
+
+def exact_control_vector(
+    game: OneRoundGame, t: int, *, allow_exhaustive: bool = True
+) -> Tuple[float, ...]:
+    """``(1 - Pr(U^v))`` for every outcome ``v``, computed exactly."""
+    return tuple(
+        1.0
+        - exact_uncontrollable_mass(
+            game, v, t, allow_exhaustive=allow_exhaustive
+        )
+        for v in range(game.k)
+    )

@@ -1,0 +1,66 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """A simulation, protocol, or adversary was configured inconsistently.
+
+    Examples: a negative number of processes, an adversary budget larger
+    than the process count when the model forbids it, or an unknown
+    protocol name passed to the registry.
+    """
+
+
+class BudgetExceededError(ReproError):
+    """An adversary attempted to fail more processes than its budget allows.
+
+    The engine treats this as a hard error rather than silently clamping,
+    because a silently weakened adversary would corrupt lower-bound
+    measurements.
+    """
+
+
+class ProtocolViolationError(ReproError):
+    """A protocol implementation broke an engine invariant.
+
+    Raised when, e.g., a process sends after deciding to halt, changes a
+    decision after it was fixed, or emits a message for an unknown
+    recipient.
+    """
+
+
+class AgreementViolation(ReproError):
+    """Two non-faulty processes decided different values.
+
+    Raised by :func:`repro.sim.checks.verify_execution` when the
+    Agreement condition of the consensus problem fails.
+    """
+
+
+class ValidityViolation(ReproError):
+    """A decision value was not any process's input value.
+
+    Raised by :func:`repro.sim.checks.verify_execution` when the Validity
+    condition fails (all inputs equal ``v`` but some process decided
+    ``1 - v``).
+    """
+
+
+class TerminationViolation(ReproError):
+    """A non-faulty process failed to decide within the allowed horizon.
+
+    Termination holds with probability 1 in the paper; the simulator
+    enforces a finite (configurable, generous) round horizon and treats
+    running past it as a violation so that runaway executions surface as
+    errors instead of hangs.
+    """

@@ -1,0 +1,32 @@
+"""Experiment harness: seeded Monte-Carlo drivers and the per-claim
+experiment suite (E1..E10, see DESIGN.md §5).
+
+The paper is theory-only, so its "tables and figures" are the
+quantitative statements of its lemmas and theorems; each function in
+:mod:`repro.harness.experiments` regenerates one of them as a printable
+table.  Run them all from the command line::
+
+    python -m repro.harness.experiments            # quick scale
+    python -m repro.harness.experiments --scale full
+"""
+
+from repro.harness.report import Table, render_table
+from repro.harness.runner import TrialStats, run_reference_trials, run_fast_trials
+from repro.harness.workloads import (
+    half_split,
+    random_inputs,
+    unanimous,
+    worst_case_split,
+)
+
+__all__ = [
+    "Table",
+    "TrialStats",
+    "half_split",
+    "random_inputs",
+    "render_table",
+    "run_fast_trials",
+    "run_reference_trials",
+    "unanimous",
+    "worst_case_split",
+]

@@ -1,0 +1,97 @@
+"""Serialising experiment tables and sweep results (CSV / JSON).
+
+Downstream users plot; this library measures.  These helpers write the
+two result shapes the harness produces — :class:`~repro.harness.report.Table`
+and lists of :class:`~repro.harness.sweep.SweepResult` — to plain CSV
+or JSON so any plotting stack can pick them up.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import io
+import json
+from pathlib import Path
+from typing import Iterable, List, Optional, Union
+
+from repro.errors import ConfigurationError
+from repro.harness.report import Table
+from repro.harness.sweep import SweepResult
+
+__all__ = [
+    "table_to_csv",
+    "table_to_json",
+    "sweep_to_csv",
+    "sweep_to_json",
+    "write_text",
+]
+
+
+def table_to_csv(table: Table) -> str:
+    """Render a :class:`Table` as CSV text (header + rows)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(list(table.columns))
+    for row in table.rows:
+        writer.writerow(list(row))
+    return buffer.getvalue()
+
+
+def table_to_json(table: Table) -> str:
+    """Render a :class:`Table` as a JSON document.
+
+    The document carries the title, the notes, and one object per row
+    keyed by column name.
+    """
+    rows = [
+        dict(zip(table.columns, row)) for row in table.rows
+    ]
+    return json.dumps(
+        {
+            "title": table.title,
+            "columns": list(table.columns),
+            "rows": rows,
+            "notes": list(table.notes),
+        },
+        indent=2,
+        default=str,
+    )
+
+
+def sweep_to_csv(results: Iterable[SweepResult]) -> str:
+    """Render sweep results as CSV text."""
+    results = list(results)
+    if not results:
+        raise ConfigurationError("no sweep results to export")
+    fields = [f.name for f in dataclasses.fields(SweepResult)]
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(fields + ["normalised_rounds"])
+    for r in results:
+        writer.writerow(
+            [getattr(r, name) for name in fields]
+            + [r.normalised_rounds()]
+        )
+    return buffer.getvalue()
+
+
+def sweep_to_json(results: Iterable[SweepResult]) -> str:
+    """Render sweep results as a JSON array."""
+    results = list(results)
+    if not results:
+        raise ConfigurationError("no sweep results to export")
+    payload = []
+    for r in results:
+        item = dataclasses.asdict(r)
+        item["normalised_rounds"] = r.normalised_rounds()
+        payload.append(item)
+    return json.dumps(payload, indent=2)
+
+
+def write_text(path: Union[str, Path], text: str) -> Path:
+    """Write ``text`` to ``path``, creating parent directories."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+    return path

@@ -1,0 +1,98 @@
+"""Fixed-width table rendering for experiment output.
+
+Experiments return :class:`Table` objects; benchmarks and the CLI
+render them with :func:`render_table`.  Cells may be strings, ints,
+floats (formatted to a sensible precision), bools (``yes``/``no``), or
+``None`` (``-``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Table", "render_table", "format_cell"]
+
+
+def format_cell(value: Any) -> str:
+    """Human-readable cell text."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 0.001:
+            return f"{value:.3e}"
+        if magnitude >= 100:
+            return f"{value:.1f}"
+        if magnitude >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A titled grid of results.
+
+    Attributes:
+        title: Table caption (experiment id + claim).
+        columns: Column headers.
+        rows: Row cells; each row must match ``columns`` in length.
+        notes: Free-form footnotes rendered under the table.
+    """
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Sequence[Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: Any) -> None:
+        if len(cells) != len(self.columns):
+            raise ConfigurationError(
+                f"row has {len(cells)} cells, table has "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append(cells)
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def column(self, name: str) -> List[Any]:
+        """All cells of the named column (for programmatic assertions)."""
+        try:
+            idx = list(self.columns).index(name)
+        except ValueError:
+            raise ConfigurationError(
+                f"no column {name!r}; have {list(self.columns)}"
+            ) from None
+        return [row[idx] for row in self.rows]
+
+
+def render_table(table: Table) -> str:
+    """Render a :class:`Table` as fixed-width text."""
+    headers = [str(c) for c in table.columns]
+    grid = [headers] + [
+        [format_cell(cell) for cell in row] for row in table.rows
+    ]
+    widths = [
+        max(len(row[i]) for row in grid) for i in range(len(headers))
+    ]
+    lines = [table.title, "=" * max(len(table.title), 1)]
+    header_line = "  ".join(
+        h.ljust(widths[i]) for i, h in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in grid[1:]:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    for note in table.notes:
+        lines.append(f"  note: {note}")
+    return "\n".join(lines)

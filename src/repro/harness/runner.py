@@ -1,0 +1,145 @@
+"""Seeded Monte-Carlo drivers over (protocol, adversary, inputs) grids.
+
+Two entry points, matching the two engines:
+
+* :func:`run_reference_trials` — message-level engine, any protocol and
+  adversary, full verdicts.
+* :func:`run_fast_trials` — vectorized engine for SynRan-family
+  protocols with :class:`~repro.sim.fast.FastAdversary` attackers,
+  usable at ``n`` in the thousands.
+
+Both derive per-trial seeds from a base seed so whole experiments
+replay deterministically, and both return :class:`TrialStats`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.analysis.stats import Summary, summarize
+from repro.errors import ConfigurationError
+from repro.sim.checks import verify_execution
+from repro.sim.engine import Engine
+from repro.sim.fast import FastAdversary, FastEngine
+from repro.sim.model import Verdict
+
+__all__ = ["TrialStats", "run_reference_trials", "run_fast_trials"]
+
+
+@dataclass
+class TrialStats:
+    """Aggregated outcomes of a batch of executions.
+
+    Attributes:
+        decision_rounds: Per-trial decision round; trials where the
+            horizon was hit without universal decision contribute the
+            horizon value (and are counted in ``timeouts``).
+        crashes: Per-trial total crash counts.
+        decisions: Per-trial common decision (``None`` when absent).
+        verdicts: Per-trial consensus verdicts (reference engine only;
+            empty for fast-engine runs, whose checks are structural).
+        timeouts: Number of trials that hit the round horizon.
+    """
+
+    decision_rounds: List[int] = field(default_factory=list)
+    crashes: List[int] = field(default_factory=list)
+    decisions: List[Optional[int]] = field(default_factory=list)
+    verdicts: List[Verdict] = field(default_factory=list)
+    timeouts: int = 0
+
+    def rounds_summary(self) -> Summary:
+        return summarize([float(r) for r in self.decision_rounds])
+
+    def all_ok(self) -> bool:
+        """Every verdict passed (vacuously true for fast runs)."""
+        return all(v.ok for v in self.verdicts)
+
+    def violation_count(self) -> int:
+        return sum(1 for v in self.verdicts if not v.ok)
+
+
+def run_reference_trials(
+    protocol_factory: Callable[[], object],
+    adversary_factory: Callable[[], object],
+    n: int,
+    inputs_factory: Callable[[random.Random], Sequence[int]],
+    *,
+    trials: int,
+    base_seed: int = 0,
+    max_rounds: Optional[int] = None,
+    strict_termination: bool = False,
+) -> TrialStats:
+    """Run ``trials`` seeded executions on the reference engine.
+
+    Factories (rather than instances) are taken for the protocol and
+    adversary so each trial gets a fresh object and no state can leak
+    between trials (adversaries are also reset by the engine, so an
+    instance-per-batch would work, but fresh-per-trial is the
+    configuration misuse-proof choice).
+    """
+    if trials < 1:
+        raise ConfigurationError(f"trials must be >= 1, got {trials}")
+    stats = TrialStats()
+    seeder = random.Random(base_seed)
+    for _ in range(trials):
+        seed = seeder.getrandbits(48)
+        inputs = inputs_factory(random.Random(seed ^ 0x5EED))
+        engine = Engine(
+            protocol_factory(),
+            adversary_factory(),
+            n,
+            seed=seed,
+            max_rounds=max_rounds,
+            strict_termination=strict_termination,
+            record_payloads=False,
+        )
+        result = engine.run(inputs)
+        hit_horizon = result.decision_round is None
+        if hit_horizon:
+            stats.timeouts += 1
+        stats.decision_rounds.append(
+            result.rounds if hit_horizon else result.decision_round
+        )
+        stats.crashes.append(len(result.crashed))
+        stats.decisions.append(result.common_decision())
+        stats.verdicts.append(verify_execution(result))
+    return stats
+
+
+def run_fast_trials(
+    protocol_factory: Callable[[], object],
+    adversary_factory: Callable[[], FastAdversary],
+    n: int,
+    inputs_factory: Callable[[random.Random], Sequence[int]],
+    *,
+    trials: int,
+    base_seed: int = 0,
+    max_rounds: Optional[int] = None,
+) -> TrialStats:
+    """Run ``trials`` seeded executions on the vectorized engine."""
+    if trials < 1:
+        raise ConfigurationError(f"trials must be >= 1, got {trials}")
+    stats = TrialStats()
+    seeder = random.Random(base_seed)
+    for _ in range(trials):
+        seed = seeder.getrandbits(48)
+        inputs = inputs_factory(random.Random(seed ^ 0x5EED))
+        engine = FastEngine(
+            protocol_factory(),
+            adversary_factory(),
+            n,
+            seed=seed,
+            max_rounds=max_rounds,
+            strict_termination=False,
+        )
+        result = engine.run(inputs)
+        if result.decision_round is None:
+            stats.timeouts += 1
+            stats.decision_rounds.append(result.rounds)
+        else:
+            stats.decision_rounds.append(result.decision_round)
+        stats.crashes.append(result.crashes_used)
+        stats.decisions.append(result.decision)
+    return stats

@@ -1,0 +1,147 @@
+"""Parameter sweeps over (protocol, adversary, n, t) grids.
+
+A :class:`Sweep` describes a grid; :func:`run_sweep` executes every
+cell with the appropriate engine and returns :class:`SweepResult` rows
+that the export module can serialise and the plotting/analysis layer
+of a downstream user can consume directly.
+
+The experiments in :mod:`repro.harness.experiments` are hand-shaped
+for the paper's specific claims; sweeps are the general-purpose
+counterpart for users exploring their own configurations, e.g.::
+
+    sweep = Sweep(
+        protocols=("synran", "floodset"),
+        adversaries=("benign", "tally-attack"),
+        ns=(64, 128),
+        t_of=lambda n: n // 2,
+        trials=10,
+    )
+    rows = run_sweep(sweep)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.adversary.registry import make_adversary
+from repro.analysis.bounds import expected_rounds_theta
+from repro.errors import ConfigurationError
+from repro.harness.runner import run_reference_trials
+from repro.harness.workloads import worst_case_split
+from repro.protocols.registry import make_protocol
+
+__all__ = ["Sweep", "SweepResult", "run_sweep"]
+
+
+@dataclass(frozen=True)
+class Sweep:
+    """A grid specification.
+
+    Attributes:
+        protocols: Protocol registry names.
+        adversaries: Adversary registry names.
+        ns: System sizes.
+        t_of: Budget as a function of ``n``.
+        trials: Monte-Carlo trials per cell.
+        base_seed: Seed root; every cell derives its own stream.
+        inputs: Input-vector factory given ``n`` (default: the
+            55%-ones worst-case split).
+        max_rounds_of: Horizon as a function of ``n`` (default: the
+            engine default).
+    """
+
+    protocols: Sequence[str]
+    adversaries: Sequence[str]
+    ns: Sequence[int]
+    t_of: Callable[[int], int]
+    trials: int = 5
+    base_seed: int = 0
+    inputs: Callable[[int], Sequence[int]] = worst_case_split
+    max_rounds_of: Optional[Callable[[int], int]] = None
+
+    def cells(self) -> List[Tuple[str, str, int]]:
+        """All (protocol, adversary, n) combinations, in order."""
+        return [
+            (p, a, n)
+            for p in self.protocols
+            for a in self.adversaries
+            for n in self.ns
+        ]
+
+
+@dataclass
+class SweepResult:
+    """One cell's outcome.
+
+    Attributes:
+        protocol / adversary / n / t: The cell coordinates.
+        mean_rounds: Mean decision round over the trials.
+        std_rounds: Sample standard deviation.
+        mean_crashes: Mean total crashes used.
+        timeouts: Trials that hit the horizon undecided.
+        violations: Trials failing any consensus condition.
+        theta_shape: ``expected_rounds_theta(n, t)`` for normalising.
+    """
+
+    protocol: str
+    adversary: str
+    n: int
+    t: int
+    mean_rounds: float
+    std_rounds: float
+    mean_crashes: float
+    timeouts: int
+    violations: int
+    theta_shape: float
+
+    def normalised_rounds(self) -> float:
+        """Mean rounds divided by the Theorem-3 shape (>= 1 clamp)."""
+        return self.mean_rounds / max(self.theta_shape, 1.0)
+
+
+def run_sweep(sweep: Sweep) -> List[SweepResult]:
+    """Execute every cell of ``sweep`` on the reference engine."""
+    if sweep.trials < 1:
+        raise ConfigurationError(
+            f"trials must be >= 1, got {sweep.trials}"
+        )
+    results: List[SweepResult] = []
+    for index, (proto_name, adv_name, n) in enumerate(sweep.cells()):
+        t = sweep.t_of(n)
+        if not 0 <= t <= n:
+            raise ConfigurationError(
+                f"t_of({n}) = {t} outside [0, {n}]"
+            )
+        probe = make_protocol(proto_name, n, t)
+        max_rounds = (
+            sweep.max_rounds_of(n) if sweep.max_rounds_of else None
+        )
+        stats = run_reference_trials(
+            lambda pn=proto_name, n=n, t=t: make_protocol(pn, n, t),
+            lambda an=adv_name, n=n, t=t, probe=probe: make_adversary(
+                an, n, t, probe
+            ),
+            n,
+            lambda rng, n=n: sweep.inputs(n),
+            trials=sweep.trials,
+            base_seed=sweep.base_seed + 7919 * index,
+            max_rounds=max_rounds,
+        )
+        summary = stats.rounds_summary()
+        results.append(
+            SweepResult(
+                protocol=proto_name,
+                adversary=adv_name,
+                n=n,
+                t=t,
+                mean_rounds=summary.mean,
+                std_rounds=summary.std,
+                mean_crashes=sum(stats.crashes) / len(stats.crashes),
+                timeouts=stats.timeouts,
+                violations=stats.violation_count(),
+                theta_shape=expected_rounds_theta(n, t),
+            )
+        )
+    return results

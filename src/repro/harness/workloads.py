@@ -1,0 +1,66 @@
+"""Input-vector generators for consensus experiments.
+
+The adversary of the lower bound also chooses the initial state
+(Lemma 3.5), so lower-bound experiments use :func:`worst_case_split` —
+a 55%-ones vector that starts the population inside SynRan's coin
+window, the split the valency argument exploits.  Upper-bound and
+correctness experiments sweep all of these.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = ["unanimous", "half_split", "worst_case_split", "random_inputs"]
+
+
+def unanimous(n: int, value: int) -> List[int]:
+    """All processes start with ``value`` (the Validity test vector)."""
+    if value not in (0, 1):
+        raise ConfigurationError(f"value must be a bit, got {value}")
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    return [value] * n
+
+
+def half_split(n: int) -> List[int]:
+    """``ceil(n/2)`` ones then zeros — the maximally divided start."""
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    ones = (n + 1) // 2
+    return [1] * ones + [0] * (n - ones)
+
+
+def worst_case_split(n: int, fraction: float = 0.55) -> List[int]:
+    """A ``fraction``-ones vector (default 55%).
+
+    Starts every process's round-0 tally strictly inside the paper's
+    coin window ``(n/2, 6n/10]``, so the whole population flips coins
+    immediately and the adversary's stalling game begins at full
+    strength — the initial state a Lemma-3.5-style adversary would pick.
+    """
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    if not 0.0 <= fraction <= 1.0:
+        raise ConfigurationError(
+            f"fraction must be in [0, 1], got {fraction}"
+        )
+    # The epsilon guards float noise: ceil(0.55 * 100) is 56 without it.
+    ones = min(n, math.ceil(fraction * n - 1e-9))
+    return [1] * ones + [0] * (n - ones)
+
+
+def random_inputs(
+    n: int, rng: Optional[random.Random] = None, p_one: float = 0.5
+) -> List[int]:
+    """Independent Bernoulli(``p_one``) inputs."""
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    if not 0.0 <= p_one <= 1.0:
+        raise ConfigurationError(f"p_one must be in [0, 1], got {p_one}")
+    rng = rng or random.Random(0)
+    return [1 if rng.random() < p_one else 0 for _ in range(n)]

@@ -1,0 +1,37 @@
+"""Consensus protocols: the paper's SynRan and its baselines.
+
+* :mod:`repro.protocols.synran` — the paper's protocol (Section 4): a
+  Ben-Or-style tally protocol with a *one-side-biased* collective coin
+  and a hand-off to a deterministic protocol once fewer than
+  ``sqrt(n / log n)`` processes survive.  Tolerates any ``t <= n``.
+* :mod:`repro.protocols.symmetric` — ablation: SynRan with the
+  one-side-bias rule (``Z_i^r = 0  =>  b_i = 1``) removed, i.e. the
+  symmetric coin of Ben-Or's original protocol.
+* :mod:`repro.protocols.benor` — the classic two-phase Ben-Or protocol
+  ported to the synchronous fail-stop model (requires ``t < n/2``).
+* :mod:`repro.protocols.floodset` — the deterministic ``f+1``-round
+  FloodSet protocol, used both standalone (the ``t+1``-round baseline
+  the paper mentions for large ``t``) and as SynRan's deterministic
+  stage.
+"""
+
+from repro.protocols.base import ConsensusProtocol
+from repro.protocols.floodset import FloodSetProtocol
+from repro.protocols.synran import SynRanProtocol
+from repro.protocols.symmetric import SymmetricRanProtocol
+from repro.protocols.benor import BenOrProtocol
+from repro.protocols.gp_hybrid import GPHybridProtocol
+from repro.protocols.beacon import BeaconRanProtocol
+from repro.protocols.registry import available_protocols, make_protocol
+
+__all__ = [
+    "BeaconRanProtocol",
+    "BenOrProtocol",
+    "ConsensusProtocol",
+    "FloodSetProtocol",
+    "GPHybridProtocol",
+    "SymmetricRanProtocol",
+    "SynRanProtocol",
+    "available_protocols",
+    "make_protocol",
+]

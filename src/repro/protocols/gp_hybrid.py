@@ -1,0 +1,129 @@
+"""Goldreich–Petrank-style hybrid: randomized stage with a
+*round-number* trigger for the deterministic tail.
+
+The paper follows [GP90] in concatenating a randomized stage with a
+deterministic protocol to guarantee termination, but changes the
+trigger: "Unlike their work, in our algorithm the beginning of the
+deterministic stage doesn't depend on the round number (which is a
+number that all processes share in common), but rather on the number
+of living processes."
+
+This module implements the [GP90]-style alternative — run the SynRan
+probabilistic stage for a fixed number of rounds ``R``, then switch
+everyone to FloodSet flooding for ``D`` rounds — as an ablation
+artifact for experiment A2 (bench_a2_det_handoff):
+
+* With the round-number trigger, the deterministic tail must be
+  provisioned for the *worst-case* number of crashes it may need to
+  ride out: correctness for all ``t <= n`` forces ``D = t + 1``
+  regardless of how many processes actually survive, so the worst-case
+  round count is ``R + t + 1`` — no better than FloodSet alone when
+  the adversary simply waits.
+* SynRan's survivor-count trigger fires only when fewer than
+  ``sqrt(n / log n)`` processes remain, so its deterministic tail is
+  always short and the adversary must *spend* budget to bring it on.
+
+The trigger is the one design choice ablated here; everything else
+(tally thresholds, one-side bias, STOP rule) is inherited from
+:class:`~repro.protocols.synran.SynRanProtocol`.
+
+Synchronisation is trivial for this variant — the round number is
+shared, so every live process switches stages simultaneously and no
+one-round-delay machinery (Lemma 4.3) is needed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Mapping, Tuple
+
+from repro.errors import ConfigurationError
+from repro.protocols.synran import Stage, SynRanProtocol, SynRanState
+
+__all__ = ["GPHybridProtocol"]
+
+
+class GPHybridProtocol(SynRanProtocol):
+    """SynRan's probabilistic stage with a [GP90] round-count trigger.
+
+    Args:
+        random_rounds: Number of probabilistic-stage rounds ``R`` to
+            run before switching.  A process that has already STOPped
+            keeps its decision; everyone else enters the deterministic
+            stage at round ``R`` exactly.
+        det_rounds: Length ``D`` of the deterministic (FloodSet) tail.
+            For correctness against a ``t``-adversary this must be at
+            least the number of crashes that can still occur after the
+            switch plus one; :meth:`for_resilience` provisions the
+            worst case ``D = t + 1``.
+        **kwargs: Threshold/coin knobs forwarded to
+            :class:`SynRanProtocol` (``det_handoff`` is forced off —
+            the survivor-count trigger is exactly what this ablation
+            removes).
+    """
+
+    name = "gp-hybrid"
+    requires_majority = False
+
+    def __init__(
+        self, random_rounds: int, det_rounds: int, **kwargs: Any
+    ) -> None:
+        if random_rounds < 1:
+            raise ConfigurationError(
+                f"random_rounds must be >= 1, got {random_rounds}"
+            )
+        if det_rounds < 1:
+            raise ConfigurationError(
+                f"det_rounds must be >= 1, got {det_rounds}"
+            )
+        if kwargs.pop("det_handoff", False):
+            raise ConfigurationError(
+                "GPHybridProtocol replaces the survivor-count hand-off; "
+                "det_handoff cannot be enabled"
+            )
+        super().__init__(det_handoff=False, **kwargs)
+        self.random_rounds = random_rounds
+        self.det_rounds = det_rounds
+
+    @classmethod
+    def for_resilience(
+        cls, n: int, t: int, random_rounds: int = 8, **kwargs: Any
+    ) -> "GPHybridProtocol":
+        """Provision the deterministic tail for a ``t``-adversary.
+
+        The tail must tolerate every crash the adversary may have
+        saved, so ``det_rounds = t + 1`` — the [GP90] worst case the
+        paper's survivor-count trigger avoids.
+        """
+        if not 0 <= t <= n:
+            raise ConfigurationError(f"t must be in [0, n]={n}, got {t}")
+        return cls(
+            random_rounds=random_rounds, det_rounds=t + 1, **kwargs
+        )
+
+    def det_stage_rounds(self, n: int) -> int:
+        """The fixed tail length (overrides SynRan's sqrt(n/log n))."""
+        return self.det_rounds
+
+    def receive(
+        self,
+        state: SynRanState,
+        round_index: int,
+        inbox: Mapping[int, Tuple[str, Any]],
+    ) -> None:
+        if (
+            state.stage == Stage.PROBABILISTIC
+            and round_index >= self.random_rounds
+        ):
+            # Round-number trigger: everyone switches simultaneously,
+            # so the flood can seed directly from this round's BIT
+            # broadcasts (no one-round SYNC delay needed).
+            state.stage = Stage.DETERMINISTIC
+            state.det_known = set()
+            state.det_rounds_done = 0
+        if state.stage == Stage.PROBABILISTIC:
+            self._receive_probabilistic(state, round_index, inbox)
+            return
+        # Deterministic stage.  In the switch round the inbox still
+        # carries BIT payloads; _receive_deterministic absorbs both.
+        self._receive_deterministic(state, inbox)

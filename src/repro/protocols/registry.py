@@ -1,0 +1,72 @@
+"""Name-based protocol construction for the harness and the CLI examples.
+
+Protocols differ in what they need at construction time (Ben-Or and
+FloodSet need the target resilience ``t``; SynRan needs nothing), so the
+registry maps a name to a factory taking ``(n, t)`` and returning a
+ready instance.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import ConfigurationError
+from repro.protocols.base import ConsensusProtocol
+from repro.protocols.beacon import BeaconRanProtocol
+from repro.protocols.benor import BenOrProtocol
+from repro.protocols.floodset import FloodSetProtocol
+from repro.protocols.gp_hybrid import GPHybridProtocol
+from repro.protocols.symmetric import SymmetricRanProtocol
+from repro.protocols.synran import SynRanProtocol
+
+__all__ = ["available_protocols", "make_protocol", "register_protocol"]
+
+_FACTORIES: Dict[str, Callable[[int, int], ConsensusProtocol]] = {
+    "synran": lambda n, t: SynRanProtocol(),
+    "synran-nodet": lambda n, t: SynRanProtocol(det_handoff=False),
+    "symmetric-ran": lambda n, t: SymmetricRanProtocol(),
+    "benor": lambda n, t: BenOrProtocol(t=t),
+    "floodset": lambda n, t: FloodSetProtocol.for_resilience(t),
+    "gp-hybrid": lambda n, t: GPHybridProtocol.for_resilience(n, t),
+    "beacon-ran": lambda n, t: BeaconRanProtocol(),
+}
+
+
+def available_protocols() -> List[str]:
+    """Sorted names accepted by :func:`make_protocol`."""
+    return sorted(_FACTORIES)
+
+
+def make_protocol(name: str, n: int, t: int) -> ConsensusProtocol:
+    """Build the named protocol for an ``n``-process, budget-``t`` setup.
+
+    Raises:
+        ConfigurationError: unknown name, or a ``t`` the protocol
+            cannot be configured for.
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown protocol {name!r}; available: "
+            f"{', '.join(available_protocols())}"
+        ) from None
+    protocol = factory(n, t)
+    if protocol.requires_majority and t * 2 >= n and n > 1:
+        raise ConfigurationError(
+            f"protocol {name!r} requires t < n/2; got n={n}, t={t}"
+        )
+    return protocol
+
+
+def register_protocol(
+    name: str, factory: Callable[[int, int], ConsensusProtocol]
+) -> None:
+    """Register a custom protocol factory (used by extension examples).
+
+    Raises:
+        ConfigurationError: if the name is already taken.
+    """
+    if name in _FACTORIES:
+        raise ConfigurationError(f"protocol {name!r} already registered")
+    _FACTORIES[name] = factory

@@ -1,0 +1,50 @@
+"""Ablation: SynRan with the one-side-biased coin removed.
+
+The paper's Section 1.1 attributes the tight upper bound to replacing
+Ben-Or's symmetric coin with a "one-side-bias" collective coin — the
+single clause ``Z_i^r = 0  =>  b_i = 1`` in SynRan's update cascade.
+:class:`SymmetricRanProtocol` is SynRan with exactly that clause
+deleted, isolating the design choice for experiment E7.
+
+Two consequences, both demonstrated by tests and benchmarks:
+
+* **Speed.**  Against the tally-attacking adversary the symmetric
+  variant can be stalled much longer: crashing 1-senders pushes every
+  survivor's tally down without triggering any escape clause, so the
+  adversary biases each round's collective coin towards 0 cheaply and
+  keeps the execution bivalent.
+
+* **Safety.**  The clause is load-bearing for Validity under an
+  *adaptive* adversary: with all inputs 1, silencing more than
+  ``1 - decide_lo`` of the processes in round 0 drops every survivor's
+  1-tally below ``decide_lo * n``, making them adopt (and eventually
+  decide) 0 even though no process ever had input 0.  With the clause,
+  a survivor that sees no zeros proposes 1 no matter how small its
+  tally.  ``tests/test_symmetric.py::test_validity_violation_without_bias``
+  reproduces the attack.
+
+This protocol is therefore an *ablation artifact*, not a correct
+baseline; the correct t < n/2 baseline is
+:class:`repro.protocols.benor.BenOrProtocol`.
+"""
+
+from __future__ import annotations
+
+from repro.protocols.synran import SynRanProtocol
+
+__all__ = ["SymmetricRanProtocol"]
+
+
+class SymmetricRanProtocol(SynRanProtocol):
+    """SynRan minus the ``Z == 0 => b = 1`` clause (symmetric coin)."""
+
+    name = "symmetric-ran"
+
+    def __init__(self, **kwargs) -> None:
+        kwargs.setdefault("one_side_bias", False)
+        if kwargs.get("one_side_bias"):
+            raise ValueError(
+                "SymmetricRanProtocol is the one_side_bias=False ablation; "
+                "use SynRanProtocol for the biased coin"
+            )
+        super().__init__(**kwargs)

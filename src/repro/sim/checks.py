@@ -1,0 +1,104 @@
+"""Consensus-condition checkers (Agreement / Validity / Termination).
+
+These functions take a finished :class:`~repro.sim.engine.ExecutionResult`
+and return a :class:`~repro.sim.model.Verdict`, optionally raising the
+matching :mod:`repro.errors` exception.  They implement the definitions
+of Section 3.1 of the paper:
+
+* **Agreement** — all non-faulty processes decide the same value.  We
+  check the stricter *uniform* form (every decision ever made agrees,
+  including by processes that crashed after deciding), which SynRan in
+  fact guarantees (Lemma 4.2); the strict form implies the paper's.
+* **Validity** — if all processes have the same initial value ``v``,
+  then ``v`` is the only possible decision value.  We additionally check
+  the (implied, for binary inputs) property that any decision equals
+  *some* process's input.
+* **Termination** — all non-faulty processes decide.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import (
+    AgreementViolation,
+    TerminationViolation,
+    ValidityViolation,
+)
+from repro.sim.engine import ExecutionResult
+from repro.sim.model import Verdict
+
+__all__ = ["verify_execution", "check_agreement", "check_validity", "check_termination"]
+
+
+def check_agreement(result: ExecutionResult) -> bool:
+    """True when every decision made during the run equals every other."""
+    return len(set(result.decisions.values())) <= 1
+
+
+def check_validity(result: ExecutionResult) -> bool:
+    """True when decisions are consistent with the Validity condition.
+
+    For binary consensus this reduces to: every decided value appears
+    somewhere in the input vector.  (When all inputs are the common
+    value ``v``, this forces every decision to be ``v`` — the paper's
+    phrasing; for mixed inputs both values are legal.)
+    """
+    input_values = set(result.trace.inputs)
+    return all(v in input_values for v in result.decisions.values())
+
+
+def check_termination(result: ExecutionResult) -> bool:
+    """True when every process that never crashed reached a decision."""
+    return all(pid in result.decisions for pid in result.survivors)
+
+
+def verify_execution(
+    result: ExecutionResult, *, raise_on_violation: bool = False
+) -> Verdict:
+    """Check all three consensus conditions on ``result``.
+
+    Args:
+        result: A finished execution.
+        raise_on_violation: When set, raise
+            :class:`AgreementViolation` / :class:`ValidityViolation` /
+            :class:`TerminationViolation` (in that priority order)
+            instead of returning a failing verdict.
+
+    Returns:
+        The :class:`Verdict`.  ``verdict.decision`` is the common
+        decided value when agreement holds and at least one process
+        decided.
+    """
+    agreement = check_agreement(result)
+    validity = check_validity(result)
+    termination = check_termination(result)
+
+    if raise_on_violation:
+        if not agreement:
+            raise AgreementViolation(
+                f"conflicting decisions: {sorted(result.decisions.items())}"
+            )
+        if not validity:
+            raise ValidityViolation(
+                f"decisions {sorted(set(result.decisions.values()))} not "
+                f"drawn from inputs {sorted(set(result.trace.inputs))}"
+            )
+        if not termination:
+            undecided = sorted(
+                pid for pid in result.survivors
+                if pid not in result.decisions
+            )
+            raise TerminationViolation(
+                f"survivors never decided: {undecided}"
+            )
+
+    decision: Optional[int] = None
+    if agreement and result.decisions:
+        decision = next(iter(set(result.decisions.values())))
+    return Verdict(
+        agreement=agreement,
+        validity=validity,
+        termination=termination,
+        decision=decision,
+    )

@@ -1,0 +1,80 @@
+"""Communication-cost accounting over execution traces.
+
+The paper measures round complexity only, but the protocols have the
+classic Θ(n²)-messages-per-round broadcast structure, and a downstream
+user comparing SynRan against the deterministic protocol usually wants
+the message budget too: SynRan's expected total is
+``O(n² · t/√(n log n))`` messages versus FloodSet's ``O(n² · t)`` —
+the same factor as the round comparison.
+
+These helpers post-process an :class:`~repro.sim.trace.ExecutionTrace`
+(which records senders, victims, and withheld deliveries per round)
+into per-round and total message counts.  A "message" is one
+point-to-point delivery; self-delivery (a process reading its own
+broadcast) is local knowledge and not counted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.sim.trace import ExecutionTrace, RoundRecord
+
+__all__ = ["CommStats", "messages_in_round", "communication_stats"]
+
+
+def messages_in_round(record: RoundRecord) -> int:
+    """Point-to-point deliveries in one round.
+
+    Every sender delivers to all other receivers of the round except
+    where the adversary withheld a crashing sender's message.
+    Receivers are the round's senders minus its victims (victims are
+    dead by delivery time and receive nothing).
+    """
+    receivers = [s for s in record.senders if s not in record.victims]
+    total = 0
+    for sender in record.senders:
+        if sender in record.victims:
+            withheld = record.withheld.get(sender, frozenset())
+            delivered = [
+                r for r in receivers if r != sender and r not in withheld
+            ]
+            total += len(delivered)
+        else:
+            total += sum(1 for r in receivers if r != sender)
+    return total
+
+
+@dataclass(frozen=True)
+class CommStats:
+    """Message-complexity summary of one execution.
+
+    Attributes:
+        total_messages: Point-to-point deliveries over the whole run.
+        per_round: Deliveries per round, in order.
+        peak_round: Largest single-round delivery count.
+        rounds: Number of rounds in the trace.
+    """
+
+    total_messages: int
+    per_round: List[int]
+    peak_round: int
+    rounds: int
+
+    def mean_per_round(self) -> float:
+        """Average deliveries per round (0 for an empty trace)."""
+        if not self.per_round:
+            return 0.0
+        return self.total_messages / len(self.per_round)
+
+
+def communication_stats(trace: ExecutionTrace) -> CommStats:
+    """Compute :class:`CommStats` for a finished execution's trace."""
+    per_round = [messages_in_round(record) for record in trace]
+    return CommStats(
+        total_messages=sum(per_round),
+        per_round=per_round,
+        peak_round=max(per_round) if per_round else 0,
+        rounds=len(per_round),
+    )

@@ -1,0 +1,239 @@
+"""Core data model shared by the simulator engines and adversaries.
+
+The types here encode the paper's synchronous fail-stop model:
+
+* :class:`ProcessCore` — the engine-visible part of a process's local
+  state (identity, input, RNG, decision/halt flags).  Protocol
+  implementations subclass it with their own variables.
+* :class:`RoundView` — the *full-information* snapshot handed to the
+  adversary after Phase A of each round: every local state and every
+  pending message, plus budget bookkeeping.
+* :class:`FailureDecision` — the adversary's Phase-B action: which
+  processes crash this round, and for each victim, exactly which
+  recipients still receive its message.
+* :class:`Verdict` — the outcome of checking Agreement / Validity /
+  Termination on a finished execution.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ProcessCore", "RoundView", "FailureDecision", "Verdict"]
+
+
+@dataclass
+class ProcessCore:
+    """Engine-visible local state of one process.
+
+    Protocols subclass this with their own fields (tallies, proposal
+    bits, stage markers...).  The engine reads and enforces only the
+    fields declared here.
+
+    Attributes:
+        pid: Process identifier in ``range(n)``.
+        n: Total number of processes in the system.
+        input_bit: The consensus input ``x_i`` of this process.
+        rng: Private PRNG for this process's local coins.  Seeded
+            deterministically by the engine so whole executions replay
+            bit-for-bit from a master seed.
+        decided: ``True`` once the process has fixed its output.  The
+            engine raises :class:`~repro.errors.ProtocolViolationError`
+            if a protocol clears this flag or changes ``decision`` after
+            it is set — the paper's model forbids changing a decision.
+        decision: The decided output value, meaningful when ``decided``.
+        halted: ``True`` once the process voluntarily stops
+            participating (SynRan's ``STOP``).  A halted process sends no
+            further messages and receives none; to its peers it is
+            indistinguishable from a crash, exactly as in the paper.
+    """
+
+    pid: int
+    n: int
+    input_bit: int
+    rng: random.Random
+    decided: bool = False
+    decision: Optional[int] = None
+    halted: bool = False
+
+    def decide(self, value: int) -> None:
+        """Fix this process's decision to ``value`` (idempotent).
+
+        Raises:
+            ConfigurationError: if the process previously decided a
+                *different* value; a protocol doing so is broken.
+        """
+        if self.decided and self.decision != value:
+            raise ConfigurationError(
+                f"process {self.pid} attempted to change its decision "
+                f"from {self.decision} to {value}"
+            )
+        self.decided = True
+        self.decision = value
+
+    def halt(self) -> None:
+        """Voluntarily stop participating after the current round."""
+        self.halted = True
+
+
+@dataclass(frozen=True)
+class RoundView:
+    """Everything the full-information adversary sees before Phase B.
+
+    Per the model in Section 3.1, the adversary examines the local coins
+    and variables of all active processes *and the messages they wish to
+    send*, then chooses failures.  ``states`` and ``payloads`` are
+    references to live objects for efficiency; adversaries must treat
+    them as read-only (mutating them is undefined behaviour, and the
+    bundled adversaries never do).
+
+    Attributes:
+        round_index: Zero-based index of the current round.
+        n: Total number of processes the system started with.
+        alive: Pids that have not crashed and not halted before this
+            round; exactly these processes produced a payload.
+        states: Mapping from *every* pid (including crashed/halted ones)
+            to its :class:`ProcessCore` subclass instance.
+        payloads: Mapping from each alive pid to the payload it wishes
+            to broadcast this round (``None`` payloads are allowed and
+            mean "no message").
+        budget_remaining: How many more processes the adversary may
+            crash over the rest of the execution (``t`` minus crashes so
+            far).
+        inputs: The original input vector, indexed by pid.
+    """
+
+    round_index: int
+    n: int
+    alive: FrozenSet[int]
+    states: Mapping[int, ProcessCore]
+    payloads: Mapping[int, Any]
+    budget_remaining: int
+    inputs: Tuple[int, ...]
+
+    def alive_count(self) -> int:
+        """Number of processes still participating this round."""
+        return len(self.alive)
+
+
+@dataclass(frozen=True)
+class FailureDecision:
+    """The adversary's action for one round.
+
+    ``deliveries`` maps each victim pid to the frozen set of recipient
+    pids that *do* receive the victim's round message; every recipient
+    outside the set sees silence from the victim.  A victim is crashed
+    from the end of this round onward.  Non-victim senders always
+    deliver to everyone — links are reliable.
+
+    The paper allows the adversary to fail a process *after* it sent all
+    its messages ("fail the sender but send all its messages"), which is
+    expressed here by mapping the victim to the full recipient set.
+
+    Use the constructors :meth:`none`, :meth:`silence`, and
+    :meth:`after_sending` for the common cases.
+    """
+
+    deliveries: Mapping[int, FrozenSet[int]] = field(default_factory=dict)
+
+    @classmethod
+    def none(cls) -> "FailureDecision":
+        """Crash nobody this round."""
+        return cls(deliveries={})
+
+    @classmethod
+    def silence(cls, victims: Iterable[int]) -> "FailureDecision":
+        """Crash ``victims`` before any of their messages are sent."""
+        return cls(deliveries={v: frozenset() for v in victims})
+
+    @classmethod
+    def after_sending(
+        cls, victims: Iterable[int], recipients: Iterable[int]
+    ) -> "FailureDecision":
+        """Crash ``victims`` after they delivered to all ``recipients``."""
+        everyone = frozenset(recipients)
+        return cls(deliveries={v: everyone for v in victims})
+
+    @classmethod
+    def partial(
+        cls, deliveries: Mapping[int, Iterable[int]]
+    ) -> "FailureDecision":
+        """Crash each key pid, delivering only to the mapped recipients."""
+        return cls(
+            deliveries={v: frozenset(rs) for v, rs in deliveries.items()}
+        )
+
+    @property
+    def victims(self) -> FrozenSet[int]:
+        """Pids crashed by this decision."""
+        return frozenset(self.deliveries)
+
+    def count(self) -> int:
+        """Number of processes crashed by this decision."""
+        return len(self.deliveries)
+
+    def receives_from(self, victim: int, recipient: int) -> bool:
+        """Whether ``recipient`` still gets ``victim``'s round message."""
+        allowed = self.deliveries.get(victim)
+        return allowed is not None and recipient in allowed
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """Outcome of checking the three consensus conditions on a run.
+
+    Attributes:
+        agreement: All processes that decided (whether they later
+            crashed or not) decided the same value.  SynRan guarantees
+            this *uniform* form (Lemma 4.2); the consensus definition
+            only requires it of non-faulty processes, so uniform is the
+            stricter check and is what we verify.
+        validity: Every decision equals some process's input; and when
+            all inputs agree on ``v``, every decision is ``v``.
+        termination: Every non-crashed process decided within the
+            engine's round horizon.
+        decision: The common decision value, when one exists and at
+            least one process decided; ``None`` otherwise (e.g. the
+            adversary crashed everyone before any decision).
+    """
+
+    agreement: bool
+    validity: bool
+    termination: bool
+    decision: Optional[int]
+
+    @property
+    def ok(self) -> bool:
+        """All three consensus conditions hold."""
+        return self.agreement and self.validity and self.termination
+
+
+def validate_failure_decision(
+    decision: FailureDecision,
+    view: RoundView,
+) -> None:
+    """Check a :class:`FailureDecision` against the model's rules.
+
+    Raises:
+        ConfigurationError: if a victim is not alive this round, or a
+            delivery set references an unknown pid.
+
+    Budget enforcement lives in the engine (it owns the running total);
+    this helper validates only per-round structural rules.
+    """
+    for victim, recipients in decision.deliveries.items():
+        if victim not in view.alive:
+            raise ConfigurationError(
+                f"adversary crashed pid {victim}, which is not alive in "
+                f"round {view.round_index}"
+            )
+        for r in recipients:
+            if not 0 <= r < view.n:
+                raise ConfigurationError(
+                    f"delivery set of victim {victim} references unknown "
+                    f"pid {r} (n={view.n})"
+                )

@@ -1,0 +1,60 @@
+"""Replaying recorded executions: trace -> crash schedule -> adversary.
+
+Any finished execution's :class:`~repro.sim.trace.ExecutionTrace`
+contains the complete failure pattern (victims per round, and for each
+victim the recipients its final message was withheld from).  These
+helpers convert that pattern back into a
+:class:`~repro.adversary.static.StaticAdversary`, with two uses:
+
+* **Debugging** — re-run a failure scenario found by an adaptive or
+  randomized adversary as a fixed regression scenario (with the same
+  engine seed the replay is bit-for-bit identical).
+* **Adaptivity analysis** — a replayed schedule is, by construction,
+  *oblivious*: running it against *fresh coins* (a different seed)
+  measures how much of an adaptive adversary's power came from
+  reacting to this particular execution's randomness.  Experiment E11
+  approaches the same question from sampled schedules; replay gives
+  the per-run counterfactual.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet
+
+from repro.adversary.static import StaticAdversary
+from repro.sim.trace import ExecutionTrace
+
+__all__ = ["schedule_from_trace", "replay_adversary"]
+
+
+def schedule_from_trace(
+    trace: ExecutionTrace,
+) -> Dict[int, Dict[int, FrozenSet[int]]]:
+    """Extract the crash schedule (round -> victim -> recipients that
+    still received the victim's final message) from a trace."""
+    schedule: Dict[int, Dict[int, FrozenSet[int]]] = {}
+    for record in trace:
+        if not record.victims:
+            continue
+        receivers = frozenset(record.senders) - record.victims
+        plan: Dict[int, FrozenSet[int]] = {}
+        for victim in record.victims:
+            withheld = record.withheld.get(victim, frozenset())
+            plan[victim] = frozenset(
+                r for r in receivers if r not in withheld
+            )
+        schedule[record.index] = plan
+    return schedule
+
+
+def replay_adversary(trace: ExecutionTrace) -> StaticAdversary:
+    """A :class:`StaticAdversary` that re-applies the trace's failures.
+
+    Budgeted at exactly the number of crashes the trace contains.
+    Replayed against the same protocol, inputs, and engine seed it
+    reproduces the original execution exactly; against a different
+    seed it is an oblivious schedule facing fresh coins.
+    """
+    schedule = schedule_from_trace(trace)
+    total = sum(len(plan) for plan in schedule.values())
+    return StaticAdversary(t=total, schedule=schedule)

@@ -1,0 +1,145 @@
+"""Execution traces: per-round records of what happened and why.
+
+Traces serve three purposes in this reproduction:
+
+* **Debugging** — a failed agreement check can be replayed round by
+  round to find the offending delivery pattern.
+* **Measurement** — the experiment harness reads decision rounds,
+  crash schedules, and message counts from traces rather than
+  instrumenting protocols.
+* **Adversary analysis** — the valency analyzer and the lower-bound
+  adversary consume traces of partial executions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+__all__ = ["RoundRecord", "ExecutionTrace"]
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """What happened in one synchronous round.
+
+    Attributes:
+        index: Zero-based round index.
+        senders: Pids that produced a payload in Phase A (alive,
+            non-halted processes at the start of the round).
+        payloads: Mapping from sender pid to the payload it broadcast.
+            Payloads are whatever the protocol emits (an ``int`` bit for
+            SynRan, a frozenset for FloodSet, ...).
+        victims: Pids the adversary crashed during Phase B.
+        withheld: For each victim, the recipients that did *not*
+            receive its message (the complement of the adversary's
+            delivery set within the receiver set).
+        decided_this_round: Pids that fixed their decision during this
+            round's Phase-B processing, with the value they decided.
+        halted_this_round: Pids that voluntarily stopped after this
+            round.
+        alive_after: Pids still alive (not crashed) after the round.
+    """
+
+    index: int
+    senders: Tuple[int, ...]
+    payloads: Mapping[int, Any]
+    victims: FrozenSet[int]
+    withheld: Mapping[int, FrozenSet[int]]
+    decided_this_round: Mapping[int, int]
+    halted_this_round: FrozenSet[int]
+    alive_after: FrozenSet[int]
+
+    def crash_count(self) -> int:
+        """Number of processes crashed this round."""
+        return len(self.victims)
+
+
+@dataclass
+class ExecutionTrace:
+    """Ordered sequence of :class:`RoundRecord` for one execution.
+
+    Attributes:
+        n: Number of processes the system started with.
+        t: The adversary's total crash budget.
+        inputs: Input bit vector, indexed by pid.
+        seed: Master seed the engine was run with (``None`` when the
+            caller supplied a pre-built RNG instead of a seed).
+        rounds: The per-round records, in order.
+    """
+
+    n: int
+    t: int
+    inputs: Tuple[int, ...]
+    seed: Optional[int]
+    rounds: List[RoundRecord] = field(default_factory=list)
+
+    def append(self, record: RoundRecord) -> None:
+        """Add the record of the next round (indices must be contiguous)."""
+        expected = len(self.rounds)
+        if record.index != expected:
+            raise ValueError(
+                f"trace expected round {expected}, got record for "
+                f"round {record.index}"
+            )
+        self.rounds.append(record)
+
+    def __len__(self) -> int:
+        return len(self.rounds)
+
+    def __iter__(self):
+        return iter(self.rounds)
+
+    def total_crashes(self) -> int:
+        """Total number of processes crashed over the execution."""
+        return sum(r.crash_count() for r in self.rounds)
+
+    def crashes_per_round(self) -> List[int]:
+        """Crash counts indexed by round."""
+        return [r.crash_count() for r in self.rounds]
+
+    def max_crashes_in_a_round(self) -> int:
+        """Largest single-round crash count (0 for an empty trace).
+
+        The Section-3 lower-bound adversary promises to stay below
+        ``4 sqrt(n log n) + 1`` per round; tests assert this through the
+        trace.
+        """
+        counts = self.crashes_per_round()
+        return max(counts) if counts else 0
+
+    def decision_round(self) -> Optional[int]:
+        """First round index by whose end every surviving process decided.
+
+        This is the paper's complexity measure ("the number of rounds
+        taken until all the non faulty processes decide").  Returns
+        ``None`` if some survivor never decided within the trace.
+        """
+        undecided = set(range(self.n))
+        for record in self.rounds:
+            undecided -= set(record.decided_this_round)
+            undecided -= record.victims
+            if not undecided:
+                return record.index
+        return None
+
+    def first_decision_round(self) -> Optional[int]:
+        """Round index of the earliest decision, or ``None`` if nobody decided."""
+        for record in self.rounds:
+            if record.decided_this_round:
+                return record.index
+        return None
+
+    def decisions(self) -> Dict[int, int]:
+        """All decisions made during the trace, pid -> value."""
+        out: Dict[int, int] = {}
+        for record in self.rounds:
+            out.update(record.decided_this_round)
+        return out
+
+    def crashed(self) -> FrozenSet[int]:
+        """All pids crashed at any point in the trace."""
+        out = set()
+        for record in self.rounds:
+            out |= record.victims
+        return frozenset(out)

@@ -1,0 +1,34 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.adversary import BenignAdversary
+from repro.protocols import SynRanProtocol
+from repro.sim.engine import Engine
+
+
+@pytest.fixture
+def rng():
+    """A deterministic PRNG for tests that need one."""
+    return random.Random(12345)
+
+
+@pytest.fixture
+def synran():
+    return SynRanProtocol()
+
+
+def run_synran(n, inputs, adversary=None, seed=0, **engine_kwargs):
+    """Convenience: run SynRan on the reference engine."""
+    engine = Engine(
+        SynRanProtocol(),
+        adversary or BenignAdversary(),
+        n,
+        seed=seed,
+        **engine_kwargs,
+    )
+    return engine.run(inputs)

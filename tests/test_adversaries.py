@@ -1,0 +1,133 @@
+"""Tests for the simple adversaries (benign, static, random-crash)."""
+
+import random
+
+import pytest
+
+from repro.adversary import (
+    BenignAdversary,
+    RandomCrashAdversary,
+    StaticAdversary,
+)
+from repro.errors import ConfigurationError
+from repro.protocols import SynRanProtocol
+from repro.sim.checks import verify_execution
+from repro.sim.engine import Engine
+from repro.sim.model import FailureDecision, RoundView, ProcessCore
+
+
+def make_view(alive, round_index=0, budget=5, n=None):
+    n = n if n is not None else max(alive) + 1
+    states = {
+        pid: ProcessCore(
+            pid=pid, n=n, input_bit=0, rng=random.Random(pid)
+        )
+        for pid in range(n)
+    }
+    return RoundView(
+        round_index=round_index,
+        n=n,
+        alive=frozenset(alive),
+        states=states,
+        payloads={pid: ("BIT", 0) for pid in alive},
+        budget_remaining=budget,
+        inputs=tuple([0] * n),
+    )
+
+
+class TestBenign:
+    def test_never_crashes(self):
+        adv = BenignAdversary()
+        adv.reset(4, random.Random(0))
+        for r in range(5):
+            assert adv.on_round(make_view([0, 1, 2, 3], r)).count() == 0
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BenignAdversary(-1)
+
+
+class TestStatic:
+    def test_silent_schedule(self):
+        adv = StaticAdversary(t=2, schedule={1: [0, 3]})
+        adv.reset(5, random.Random(0))
+        assert adv.on_round(make_view([0, 1, 2, 3, 4], 0)).count() == 0
+        decision = adv.on_round(make_view([0, 1, 2, 3, 4], 1))
+        assert decision.victims == {0, 3}
+        assert not decision.receives_from(0, 1)
+
+    def test_partial_schedule(self):
+        adv = StaticAdversary(t=1, schedule={0: {2: [4]}})
+        adv.reset(5, random.Random(0))
+        decision = adv.on_round(make_view([0, 1, 2, 3, 4], 0))
+        assert decision.receives_from(2, 4)
+        assert not decision.receives_from(2, 0)
+
+    def test_dead_victims_skipped(self):
+        adv = StaticAdversary(t=2, schedule={3: [0, 1]})
+        adv.reset(5, random.Random(0))
+        decision = adv.on_round(make_view([1, 2], 3, n=5))
+        assert decision.victims == {1}
+
+    def test_overbudget_schedule_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StaticAdversary(t=1, schedule={0: [0, 1]})
+
+    def test_negative_round_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StaticAdversary(t=1, schedule={-1: [0]})
+
+
+class TestRandomCrash:
+    def test_respects_budget(self):
+        adv = RandomCrashAdversary(3, rate=1.0)
+        adv.reset(10, random.Random(0))
+        total = 0
+        view = make_view(list(range(10)), 0, budget=3)
+        decision = adv.on_round(view)
+        total += decision.count()
+        assert total <= 3
+
+    def test_zero_rate_never_crashes(self):
+        adv = RandomCrashAdversary(5, rate=0.0)
+        adv.reset(10, random.Random(0))
+        assert adv.on_round(make_view(list(range(10)))).count() == 0
+
+    def test_burst_spends_everything(self):
+        adv = RandomCrashAdversary(4, rate=0.0, burst_probability=1.0)
+        adv.reset(10, random.Random(0))
+        decision = adv.on_round(make_view(list(range(10)), budget=4))
+        assert decision.count() == 4
+
+    def test_silent_probability_one_gives_empty_deliveries(self):
+        adv = RandomCrashAdversary(5, rate=1.0, silent_probability=1.0)
+        adv.reset(6, random.Random(0))
+        decision = adv.on_round(make_view(list(range(6)), budget=5))
+        for victim, recipients in decision.deliveries.items():
+            assert recipients == frozenset()
+
+    def test_rate_validation(self):
+        with pytest.raises(ConfigurationError):
+            RandomCrashAdversary(1, rate=1.5)
+        with pytest.raises(ConfigurationError):
+            RandomCrashAdversary(1, silent_probability=-0.1)
+        with pytest.raises(ConfigurationError):
+            RandomCrashAdversary(1, burst_probability=2.0)
+
+    def test_budget_exhaustion_stops_crashes(self):
+        adv = RandomCrashAdversary(0, rate=1.0)
+        adv.reset(4, random.Random(0))
+        assert adv.on_round(make_view([0, 1, 2, 3], budget=0)).count() == 0
+
+    def test_fuzzing_preserves_consensus(self):
+        # Meta-test: the fuzzer exists to find violations; on a correct
+        # protocol it must find none across a seed sweep.
+        n = 9
+        for seed in range(20):
+            adv = RandomCrashAdversary(
+                n, rate=0.2, burst_probability=0.1
+            )
+            engine = Engine(SynRanProtocol(), adv, n, seed=seed)
+            rng = random.Random(seed)
+            result = engine.run([rng.randrange(2) for _ in range(n)])
+            assert verify_execution(result).ok, f"seed {seed}"

@@ -1,0 +1,221 @@
+"""Tests for BeaconRan and the anti-beacon adversary."""
+
+import random
+
+import pytest
+
+from repro.adversary import (
+    AntiBeaconAdversary,
+    BenignAdversary,
+    RandomCrashAdversary,
+)
+from repro.adversary.oblivious import (
+    ObliviousAdversary,
+    calibrated_drip_schedule,
+    uniform_schedule,
+)
+from repro.errors import ConfigurationError
+from repro.protocols import BeaconRanProtocol, SynRanProtocol
+from repro.protocols.beacon import BeaconRanState
+from repro.protocols.synran import Stage
+from repro.sim.checks import verify_execution
+from repro.sim.engine import Engine
+
+
+class TestConstruction:
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ConfigurationError):
+            BeaconRanProtocol(beacon_rate=0)
+
+    def test_inherits_synran_knobs(self):
+        proto = BeaconRanProtocol(stop_fraction=0.05)
+        assert proto.stop_fraction == 0.05
+
+    def test_state_type(self):
+        proto = BeaconRanProtocol()
+        state = proto.initial_state(0, 8, 1, random.Random(0))
+        assert isinstance(state, BeaconRanState)
+        assert state.beacon_coin is None
+
+
+class TestPayloads:
+    def test_probabilistic_payload_shape(self):
+        proto = BeaconRanProtocol(beacon_rate=100.0)  # always a beacon
+        state = proto.initial_state(0, 8, 1, random.Random(1))
+        tag, bit, coin = proto.send(state, 0)
+        assert tag == "BBIT"
+        assert bit == 1
+        assert coin in (0, 1)
+
+    def test_non_beacon_payload(self):
+        proto = BeaconRanProtocol(beacon_rate=1e-9)  # never a beacon
+        state = proto.initial_state(0, 8, 0, random.Random(1))
+        assert proto.send(state, 0) == ("BBIT", 0, None)
+
+    def test_det_stage_payload_unchanged(self):
+        proto = BeaconRanProtocol()
+        state = proto.initial_state(0, 8, 1, random.Random(1))
+        state.stage = Stage.DETERMINISTIC
+        state.det_known = {1}
+        assert proto.send(state, 5) == ("DET", frozenset({1}))
+
+
+class TestSharedCoinAdoption:
+    def make_inbox(self, n_ones, n_zeros, beacon_pid=None, beacon_coin=0):
+        inbox = {}
+        pid = 0
+        for _ in range(n_ones):
+            inbox[pid] = ("BBIT", 1, None)
+            pid += 1
+        for _ in range(n_zeros):
+            inbox[pid] = ("BBIT", 0, None)
+            pid += 1
+        if beacon_pid is not None:
+            tag, bit, _ = inbox[beacon_pid]
+            inbox[beacon_pid] = (tag, bit, beacon_coin)
+        return inbox
+
+    def test_coin_band_adopts_beacon(self):
+        proto = BeaconRanProtocol()
+        state = proto.initial_state(19, 20, 1, random.Random(0))
+        # 11 ones / 9 zeros with prev 20 is the coin band.
+        inbox = self.make_inbox(11, 9, beacon_pid=3, beacon_coin=0)
+        proto.receive(state, 0, inbox)
+        assert state.b == 0  # adopted, not flipped
+
+    def test_minimum_pid_beacon_wins(self):
+        proto = BeaconRanProtocol()
+        state = proto.initial_state(19, 20, 1, random.Random(0))
+        inbox = self.make_inbox(11, 9)
+        inbox[7] = ("BBIT", 1, 1)
+        inbox[2] = ("BBIT", 1, 0)
+        proto.receive(state, 0, inbox)
+        assert state.b == 0  # pid 2's coin, not pid 7's
+
+    def test_outside_coin_band_ignores_beacon(self):
+        proto = BeaconRanProtocol()
+        state = proto.initial_state(19, 20, 1, random.Random(0))
+        # 15 ones of prev 20: decide-1 band, beacon irrelevant.
+        inbox = self.make_inbox(15, 5, beacon_pid=0, beacon_coin=0)
+        proto.receive(state, 0, inbox)
+        assert state.b == 1
+        assert state.tentative_decided
+
+    def test_no_beacon_falls_back_to_private_coin(self):
+        proto = BeaconRanProtocol()
+        seen = set()
+        for seed in range(30):
+            state = proto.initial_state(19, 20, 1, random.Random(seed))
+            proto.receive(state, 0, self.make_inbox(11, 9))
+            seen.add(state.b)
+        assert seen == {0, 1}
+
+
+class TestEndToEnd:
+    def test_consensus_everywhere(self):
+        n = 16
+        adversaries = [
+            lambda: BenignAdversary(),
+            lambda: RandomCrashAdversary(n, rate=0.2),
+            lambda: AntiBeaconAdversary(n),
+            lambda: ObliviousAdversary(n, uniform_schedule),
+        ]
+        for factory in adversaries:
+            for seed in range(5):
+                result = Engine(
+                    BeaconRanProtocol(),
+                    factory(),
+                    n,
+                    seed=seed,
+                    strict_termination=False,
+                ).run([i % 2 for i in range(n)])
+                assert verify_execution(result).ok
+
+    def test_oblivious_immunity(self):
+        """The E12 headline at unit scale: the shared coin neutralises
+        the calibrated schedule that stalls plain SynRan."""
+        n = 64
+        inputs = [1] * 36 + [0] * 28
+        beacon_rounds = []
+        synran_rounds = []
+        for seed in range(5):
+            beacon = Engine(
+                BeaconRanProtocol(),
+                ObliviousAdversary(n, calibrated_drip_schedule),
+                n,
+                seed=seed,
+                strict_termination=False,
+            ).run(inputs)
+            synran = Engine(
+                SynRanProtocol(),
+                ObliviousAdversary(n, calibrated_drip_schedule),
+                n,
+                seed=seed,
+                strict_termination=False,
+            ).run(inputs)
+            beacon_rounds.append(beacon.decision_round)
+            synran_rounds.append(synran.decision_round)
+        assert max(beacon_rounds) <= 6
+        assert min(synran_rounds) > 4 * max(beacon_rounds)
+
+    def test_adaptive_assassin_restores_stall(self):
+        n = 64
+        inputs = [1] * 36 + [0] * 28
+        oblivious = Engine(
+            BeaconRanProtocol(),
+            ObliviousAdversary(n, calibrated_drip_schedule),
+            n,
+            seed=2,
+            strict_termination=False,
+        ).run(inputs)
+        adaptive = Engine(
+            BeaconRanProtocol(),
+            AntiBeaconAdversary(n),
+            n,
+            seed=2,
+            strict_termination=False,
+        ).run(inputs)
+        assert adaptive.decision_round > 3 * oblivious.decision_round
+        assert verify_execution(adaptive).ok
+
+
+class TestAntiBeaconAdversary:
+    def test_kills_announced_beacons(self):
+        from repro.sim.model import RoundView
+
+        n = 10
+        states = {}
+        proto = BeaconRanProtocol()
+        for pid in range(n):
+            states[pid] = proto.initial_state(
+                pid, n, pid % 2, random.Random(pid)
+            )
+        payloads = {
+            pid: ("BBIT", pid % 2, 1 if pid in (3, 7) else None)
+            for pid in range(n)
+        }
+        view = RoundView(
+            round_index=0,
+            n=n,
+            alive=frozenset(range(n)),
+            states=states,
+            payloads=payloads,
+            budget_remaining=10,
+            inputs=tuple([0] * n),
+        )
+        adv = AntiBeaconAdversary(10)
+        adv.reset(n, random.Random(0))
+        decision = adv.on_round(view)
+        assert {3, 7} <= decision.victims
+
+    def test_drives_plain_synran_too(self):
+        n = 32
+        result = Engine(
+            SynRanProtocol(),
+            AntiBeaconAdversary(n),
+            n,
+            seed=1,
+            strict_termination=False,
+        ).run([1] * 18 + [0] * 14)
+        assert verify_execution(result).ok
+        assert result.decision_round > 20  # behaves as the tally attack

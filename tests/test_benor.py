@@ -1,0 +1,181 @@
+"""Tests for the classic two-phase Ben-Or baseline."""
+
+import random
+
+import pytest
+
+from repro.adversary import (
+    BenOrQuorumAdversary,
+    BenignAdversary,
+    RandomCrashAdversary,
+    StaticAdversary,
+)
+from repro.errors import ConfigurationError, ProtocolViolationError
+from repro.protocols import BenOrProtocol
+from repro.sim.checks import verify_execution
+from repro.sim.engine import Engine
+
+
+def make_state(proto, pid=0, n=9, input_bit=1, seed=0):
+    return proto.initial_state(pid, n, input_bit, random.Random(seed))
+
+
+class TestConstruction:
+    def test_rejects_negative_t(self):
+        with pytest.raises(ConfigurationError):
+            BenOrProtocol(t=-1)
+
+    def test_rejects_zero_broadcast_rounds(self):
+        with pytest.raises(ConfigurationError):
+            BenOrProtocol(t=1, decision_broadcast_rounds=0)
+
+    def test_requires_majority_flag(self):
+        assert BenOrProtocol(t=1).requires_majority
+
+    def test_rejects_non_bit_input(self):
+        with pytest.raises(ConfigurationError):
+            make_state(BenOrProtocol(t=1), input_bit=5)
+
+
+class TestPhases:
+    def setup_method(self):
+        self.proto = BenOrProtocol(t=2)
+
+    def test_even_rounds_report(self):
+        state = make_state(self.proto, input_bit=1)
+        assert self.proto.send(state, 0) == ("R", 1)
+        assert self.proto.send(state, 2) == ("R", 1)
+
+    def test_odd_rounds_propose(self):
+        state = make_state(self.proto)
+        state.proposal = 0
+        assert self.proto.send(state, 1) == ("P", 0)
+
+    def test_majority_report_forms_proposal(self):
+        state = make_state(self.proto, n=9)
+        inbox = {i: ("R", 1) for i in range(5)}
+        inbox.update({i: ("R", 0) for i in range(5, 9)})
+        self.proto.receive(state, 0, inbox)
+        assert state.proposal == 1
+
+    def test_no_majority_no_proposal(self):
+        state = make_state(self.proto, n=9)
+        inbox = {i: ("R", i % 2) for i in range(8)}
+        self.proto.receive(state, 0, inbox)
+        assert state.proposal is None
+
+    def test_quorum_is_absolute_over_n(self):
+        # 4 of 4 visible reports for 1 is not > 9/2 = 4.5 of n = 9.
+        state = make_state(self.proto, n=9)
+        inbox = {i: ("R", 1) for i in range(4)}
+        self.proto.receive(state, 0, inbox)
+        assert state.proposal is None
+
+    def test_t_plus_1_proposals_decide(self):
+        state = make_state(self.proto, n=9)
+        inbox = {i: ("P", 1) for i in range(3)}  # t+1 = 3
+        self.proto.receive(state, 1, inbox)
+        assert state.decided and state.decision == 1
+
+    def test_one_proposal_adopts(self):
+        state = make_state(self.proto, n=9, input_bit=1)
+        inbox = {0: ("P", 0), 1: ("P", None), 2: ("P", None)}
+        self.proto.receive(state, 1, inbox)
+        assert not state.decided
+        assert state.b == 0
+
+    def test_no_proposals_flips_coin(self):
+        seen = set()
+        for seed in range(30):
+            state = make_state(self.proto, n=9, seed=seed)
+            inbox = {i: ("P", None) for i in range(5)}
+            self.proto.receive(state, 1, inbox)
+            seen.add(state.b)
+        assert seen == {0, 1}
+
+    def test_conflicting_proposals_raise(self):
+        state = make_state(self.proto, n=9)
+        inbox = {0: ("P", 0), 1: ("P", 1)}
+        with pytest.raises(ProtocolViolationError):
+            self.proto.receive(state, 1, inbox)
+
+    def test_decision_message_adopted(self):
+        state = make_state(self.proto, n=9)
+        self.proto.receive(state, 0, {3: ("D", 0)})
+        assert state.decided and state.decision == 0
+
+    def test_decided_process_broadcasts_then_halts(self):
+        state = make_state(self.proto, n=9)
+        self.proto.receive(state, 0, {3: ("D", 1)})
+        assert self.proto.send(state, 1) == ("D", 1)
+        self.proto.receive(state, 1, {})
+        self.proto.receive(state, 2, {})
+        assert state.halted
+
+
+class TestEndToEnd:
+    def test_unanimous_decides_first_phase_pair(self):
+        engine = Engine(BenOrProtocol(t=2), BenignAdversary(), 7, seed=1)
+        result = engine.run([1] * 7)
+        verdict = verify_execution(result)
+        assert verdict.ok and verdict.decision == 1
+        assert result.decision_round <= 3
+
+    def test_split_inputs_agree(self):
+        for seed in range(10):
+            engine = Engine(
+                BenOrProtocol(t=2), BenignAdversary(), 7, seed=seed
+            )
+            result = engine.run([1, 0, 1, 0, 1, 0, 1])
+            assert verify_execution(result).ok, f"seed {seed}"
+
+    def test_agreement_under_random_crashes(self):
+        n, t = 11, 3
+        for seed in range(15):
+            engine = Engine(
+                BenOrProtocol(t=t),
+                RandomCrashAdversary(t, rate=0.1),
+                n,
+                seed=seed,
+            )
+            rng = random.Random(seed)
+            result = engine.run([rng.randrange(2) for _ in range(n)])
+            assert verify_execution(result).ok, f"seed {seed}"
+
+    def test_agreement_under_quorum_attack(self):
+        n, t = 15, 4
+        for seed in range(6):
+            engine = Engine(
+                BenOrProtocol(t=t),
+                BenOrQuorumAdversary(t, decide_threshold=t + 1),
+                n,
+                seed=seed,
+                strict_termination=False,
+            )
+            result = engine.run([1, 0] * 7 + [1])
+            assert verify_execution(result).ok, f"seed {seed}"
+
+    def test_quorum_attack_slows_it_down(self):
+        n, t = 15, 4
+        benign_rounds = []
+        attacked_rounds = []
+        for seed in range(6):
+            inputs = [1, 0] * 7 + [1]
+            benign = Engine(
+                BenOrProtocol(t=t), BenignAdversary(), n, seed=seed
+            ).run(inputs)
+            attacked = Engine(
+                BenOrProtocol(t=t),
+                BenOrQuorumAdversary(t, decide_threshold=t + 1),
+                n,
+                seed=seed,
+                strict_termination=False,
+            ).run(inputs)
+            benign_rounds.append(benign.decision_round)
+            attacked_rounds.append(attacked.decision_round)
+        assert sum(attacked_rounds) > sum(benign_rounds)
+
+    def test_single_process(self):
+        engine = Engine(BenOrProtocol(t=0), BenignAdversary(), 1, seed=1)
+        result = engine.run([1])
+        assert verify_execution(result).decision == 1

@@ -1,0 +1,93 @@
+"""Tests for the Ben-Or quorum-trimming adversary."""
+
+import random
+
+import pytest
+
+from repro.adversary.benorattack import BenOrQuorumAdversary
+from repro.protocols import BenOrProtocol
+from repro.sim.model import ProcessCore, RoundView
+from repro.protocols.benor import BenOrState
+
+
+def make_view(payloads, n, round_index=0, budget=50):
+    states = {
+        pid: BenOrState(
+            pid=pid, n=n, input_bit=0, rng=random.Random(pid)
+        )
+        for pid in range(n)
+    }
+    alive = frozenset(payloads)
+    return RoundView(
+        round_index=round_index,
+        n=n,
+        alive=alive,
+        states=states,
+        payloads=payloads,
+        budget_remaining=budget,
+        inputs=tuple([0] * n),
+    )
+
+
+class TestReportTrimming:
+    def test_trims_above_quorum(self):
+        n = 10
+        adv = BenOrQuorumAdversary(50)
+        adv.reset(n, random.Random(0))
+        payloads = {i: ("R", 1) for i in range(7)}
+        payloads.update({i: ("R", 0) for i in range(7, 10)})
+        decision = adv.on_round(make_view(payloads, n))
+        # Quorum cap is floor(10/2) = 5; 7 ones => trim 2.
+        assert decision.count() == 2
+        for victim in decision.victims:
+            assert payloads[victim] == ("R", 1)
+
+    def test_no_trim_when_no_quorum(self):
+        n = 10
+        adv = BenOrQuorumAdversary(50)
+        adv.reset(n, random.Random(0))
+        payloads = {i: ("R", i % 2) for i in range(10)}
+        assert adv.on_round(make_view(payloads, n)).count() == 0
+
+    def test_concedes_when_unaffordable(self):
+        n = 10
+        adv = BenOrQuorumAdversary(1)
+        adv.reset(n, random.Random(0))
+        payloads = {i: ("R", 1) for i in range(10)}
+        decision = adv.on_round(make_view(payloads, n, budget=1))
+        assert decision.count() == 0  # needs 5, has 1
+
+
+class TestProposalSuppression:
+    def test_kills_all_proposers_when_affordable(self):
+        n = 10
+        adv = BenOrQuorumAdversary(50)
+        adv.reset(n, random.Random(0))
+        payloads = {i: ("P", 1) for i in range(3)}
+        payloads.update({i: ("P", None) for i in range(3, 10)})
+        decision = adv.on_round(make_view(payloads, n, round_index=1))
+        assert decision.victims == {0, 1, 2}
+
+    def test_trims_to_below_decide_threshold(self):
+        n = 10
+        adv = BenOrQuorumAdversary(2, decide_threshold=3)
+        adv.reset(n, random.Random(0))
+        payloads = {i: ("P", 1) for i in range(4)}
+        payloads.update({i: ("P", None) for i in range(4, 10)})
+        decision = adv.on_round(
+            make_view(payloads, n, round_index=1, budget=2)
+        )
+        # Cannot kill all 4; kills down to decide_threshold - 1 = 2.
+        assert decision.count() == 2
+
+    def test_gives_up_after_decision_observed(self):
+        n = 6
+        adv = BenOrQuorumAdversary(50)
+        adv.reset(n, random.Random(0))
+        payloads = {0: ("D", 1), 1: ("R", 1), 2: ("R", 1)}
+        assert adv.on_round(make_view(payloads, n)).count() == 0
+
+    def test_for_protocol_constructor(self):
+        proto = BenOrProtocol(t=7)
+        adv = BenOrQuorumAdversary.for_protocol(7, proto)
+        assert adv.decide_threshold == 8

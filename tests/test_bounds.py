@@ -1,0 +1,70 @@
+"""Tests for the closed-form bounds (repro.analysis.bounds)."""
+
+import math
+
+import pytest
+
+from repro.analysis.bounds import (
+    bound_series,
+    expected_rounds_theta,
+    lower_bound_rounds_thm1,
+    upper_bound_rounds_thm2,
+)
+
+
+class TestExpectedRoundsTheta:
+    def test_constant_regime(self):
+        # For t = sqrt(n), Theta(t / sqrt(n log 3)) = O(1).
+        for n in (100, 10_000, 1_000_000):
+            t = int(math.sqrt(n))
+            assert expected_rounds_theta(n, t) < 2.0
+
+    def test_linear_t_regime_matches_cor36(self):
+        # For t = n the bound is Theta(sqrt(n / log n)).
+        n = 1_000_000
+        value = expected_rounds_theta(n, n)
+        reference = math.sqrt(n / math.log(n))
+        assert 0.3 < value / reference < 3.0
+
+    def test_increasing_in_t(self):
+        n = 4096
+        prev = -1.0
+        for t in range(0, n + 1, 256):
+            cur = expected_rounds_theta(n, t)
+            assert cur >= prev
+            prev = cur
+
+
+class TestThm1Thm2Relationship:
+    def test_lower_below_upper_everywhere(self):
+        for n in (64, 1024, 65536):
+            for frac in (0.25, 0.5, 1.0):
+                t = int(n * frac)
+                assert lower_bound_rounds_thm1(n, t) <= (
+                    upper_bound_rounds_thm2(n, t)
+                )
+
+    def test_upper_includes_deterministic_tail(self):
+        n = 4096
+        assert upper_bound_rounds_thm2(n, 0) == pytest.approx(
+            math.sqrt(n / math.log(n))
+        )
+
+
+class TestBoundSeries:
+    def test_series_evaluation(self):
+        pairs = [(256, 128), (1024, 512)]
+        series = bound_series(pairs, "theta")
+        assert series == [
+            expected_rounds_theta(256, 128),
+            expected_rounds_theta(1024, 512),
+        ]
+
+    def test_all_kinds(self):
+        pairs = [(64, 32)]
+        for which in ("theta", "lower", "upper"):
+            assert len(bound_series(pairs, which)) == 1
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            bound_series([(64, 32)], "middle")

@@ -1,0 +1,106 @@
+"""Tests for the consensus-condition checkers (repro.sim.checks)."""
+
+import pytest
+
+from repro.adversary import BenignAdversary, StaticAdversary
+from repro.errors import (
+    AgreementViolation,
+    TerminationViolation,
+    ValidityViolation,
+)
+from repro.protocols import FloodSetProtocol, SynRanProtocol
+from repro.sim.checks import (
+    check_agreement,
+    check_termination,
+    check_validity,
+    verify_execution,
+)
+from repro.sim.engine import Engine
+
+
+def run_floodset(n, t, inputs, schedule=None, seed=0):
+    adv = (
+        StaticAdversary(t=t, schedule=schedule)
+        if schedule
+        else BenignAdversary(t)
+    )
+    engine = Engine(FloodSetProtocol.for_resilience(t), adv, n, seed=seed)
+    return engine.run(inputs)
+
+
+class TestHappyPath:
+    def test_clean_run_all_checks_pass(self):
+        result = run_floodset(4, 1, [1, 0, 1, 0])
+        verdict = verify_execution(result)
+        assert verdict.ok
+        assert verdict.decision == 0  # floodset decides min
+
+    def test_unanimous_one(self):
+        result = run_floodset(4, 1, [1, 1, 1, 1])
+        verdict = verify_execution(result)
+        assert verdict.ok
+        assert verdict.decision == 1
+
+
+class TestIndividualChecks:
+    def test_agreement_detects_conflict(self):
+        result = run_floodset(3, 1, [0, 1, 1])
+        result.decisions[0] = 0
+        result.decisions[1] = 1
+        assert not check_agreement(result)
+
+    def test_validity_detects_invented_value(self):
+        result = run_floodset(3, 1, [0, 0, 0])
+        result.decisions[0] = 1  # 1 is not any input
+        assert not check_validity(result)
+
+    def test_termination_detects_undecided_survivor(self):
+        result = run_floodset(3, 1, [0, 1, 0])
+        del result.decisions[2]
+        assert not check_termination(result)
+
+    def test_termination_ignores_crashed(self):
+        schedule = {0: [2]}
+        result = run_floodset(3, 1, [0, 1, 0], schedule=schedule)
+        result.decisions.pop(2, None)
+        assert check_termination(result)
+
+
+class TestRaiseOnViolation:
+    def test_agreement_raises(self):
+        result = run_floodset(3, 1, [0, 1, 1])
+        result.decisions[0] = 0
+        result.decisions[1] = 1
+        with pytest.raises(AgreementViolation):
+            verify_execution(result, raise_on_violation=True)
+
+    def test_validity_raises(self):
+        result = run_floodset(3, 1, [1, 1, 1])
+        result.decisions[0] = 0
+        result.decisions[1] = 0
+        result.decisions[2] = 0
+        with pytest.raises(ValidityViolation):
+            verify_execution(result, raise_on_violation=True)
+
+    def test_termination_raises(self):
+        result = run_floodset(3, 1, [0, 1, 0])
+        del result.decisions[1]
+        with pytest.raises(TerminationViolation):
+            verify_execution(result, raise_on_violation=True)
+
+    def test_ok_result_does_not_raise(self):
+        result = run_floodset(3, 1, [0, 1, 0])
+        verdict = verify_execution(result, raise_on_violation=True)
+        assert verdict.ok
+
+
+class TestVerdictDecision:
+    def test_decision_is_common_value(self):
+        result = run_floodset(3, 1, [1, 1, 1])
+        assert verify_execution(result).decision == 1
+
+    def test_decision_none_when_conflicting(self):
+        result = run_floodset(3, 1, [0, 1, 1])
+        result.decisions[0] = 0
+        result.decisions[1] = 1
+        assert verify_execution(result).decision is None

@@ -1,0 +1,124 @@
+"""Tests for the command-line interface and the adversary registry."""
+
+import pytest
+
+from repro.adversary import (
+    BenOrQuorumAdversary,
+    BenignAdversary,
+    TallyAttackAdversary,
+)
+from repro.adversary.registry import (
+    available_adversaries,
+    make_adversary,
+    register_adversary,
+)
+from repro.cli import build_parser, main
+from repro.errors import ConfigurationError
+from repro.protocols import BenOrProtocol, SynRanProtocol
+
+
+class TestAdversaryRegistry:
+    def test_benign(self):
+        adv = make_adversary("benign", 8, 4, SynRanProtocol())
+        assert isinstance(adv, BenignAdversary)
+        assert adv.t == 4
+
+    def test_tally_variants(self):
+        full = make_adversary("tally-attack", 8, 8, SynRanProtocol())
+        split = make_adversary("tally-split-only", 8, 8, SynRanProtocol())
+        bleed = make_adversary("tally-bleed-only", 8, 8, SynRanProtocol())
+        assert isinstance(full, TallyAttackAdversary)
+        assert full.enable_split and full.enable_bleed
+        assert split.enable_split and not split.enable_bleed
+        assert bleed.enable_bleed and not bleed.enable_split
+
+    def test_quorum_reads_protocol_threshold(self):
+        proto = BenOrProtocol(t=5)
+        adv = make_adversary("benor-quorum", 16, 5, proto)
+        assert isinstance(adv, BenOrQuorumAdversary)
+        assert adv.decide_threshold == 6
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            make_adversary("mallory", 8, 4, SynRanProtocol())
+
+    def test_available_sorted(self):
+        names = available_adversaries()
+        assert names == sorted(names)
+        assert "tally-attack" in names
+
+    def test_register_duplicate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_adversary(
+                "benign", lambda n, t, p: BenignAdversary(t)
+            )
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.protocol == "synran"
+        assert args.adversary == "tally-attack"
+
+    def test_bounds_requires_n_t(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bounds", "--n", "4"])
+
+
+class TestMain:
+    def test_bounds(self, capsys):
+        assert main(["bounds", "--n", "256", "--t", "128"]) == 0
+        out = capsys.readouterr().out
+        assert "Thm 3" in out
+        assert "det-stage threshold" in out
+
+    def test_run_clean(self, capsys):
+        code = main([
+            "run", "--protocol", "synran", "--adversary", "benign",
+            "--n", "8", "--trials", "2", "--inputs", "unanimous1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "consensus violations" in out
+        assert "decision-1 fraction" in out
+
+    def test_run_under_attack(self, capsys):
+        code = main([
+            "run", "--n", "16", "--trials", "2", "--inputs", "worst",
+        ])
+        assert code == 0
+
+    def test_coin(self, capsys):
+        code = main([
+            "coin", "--game", "parity", "--n", "32", "--trials", "50",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "P(control)" in out
+
+    def test_valency(self, capsys):
+        code = main([
+            "valency", "--n", "3", "--budget", "1", "--horizon", "40",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "class" in out
+        assert "000" in out
+
+    def test_error_exit_code(self, capsys):
+        # benor with t >= n/2 is rejected by the protocol registry.
+        code = main([
+            "run", "--protocol", "benor", "--n", "8", "--t", "5",
+        ])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_experiments_subset(self, capsys):
+        code = main(["experiments", "--only", "E4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "E4" in out

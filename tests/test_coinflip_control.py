@@ -1,0 +1,177 @@
+"""Tests for the generic adversary search over one-round games."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro._math import coin_control_budget
+from repro.coinflip.control import (
+    control_probability,
+    exhaustive_force_set,
+    find_controllable_outcome,
+    force_set,
+    greedy_force_set,
+)
+from repro.coinflip.games import (
+    MajorityDefaultZeroGame,
+    MajorityGame,
+    ParityGame,
+    RandomFunctionGame,
+)
+from repro.errors import ConfigurationError
+
+
+class TestExhaustiveSearch:
+    def test_finds_minimal_witness(self):
+        game = MajorityGame(5)
+        values = (1, 1, 1, 0, 0)
+        s = exhaustive_force_set(game, values, 0, t=3)
+        assert s is not None
+        assert len(s) == 1  # hiding one 1 makes it 2-2: tie -> 0
+
+    def test_returns_none_when_impossible(self):
+        game = MajorityDefaultZeroGame(5)
+        assert exhaustive_force_set(game, (0, 0, 1, 0, 0), 1, t=5) is None
+
+    def test_budget_cap_raises(self):
+        # Forcing 1 from all-zeros is impossible in this game, so the
+        # search must enumerate until it trips the combinatorial cap.
+        game = MajorityDefaultZeroGame(24)
+        values = tuple(0 for _ in range(24))
+        with pytest.raises(ConfigurationError):
+            exhaustive_force_set(game, values, 1, t=12, budget=100)
+
+
+class TestGreedySearch:
+    def test_greedy_finds_majority_witness(self):
+        game = MajorityGame(7)
+        values = (1, 1, 1, 1, 0, 0, 0)
+        s = greedy_force_set(game, values, 0, t=3)
+        assert s is not None
+        assert game.outcome_of_hidden(values, s) == 0
+
+    def test_greedy_zero_cost_when_already_target(self):
+        game = ParityGame(4)
+        values = (1, 1, 0, 0)
+        assert greedy_force_set(game, values, 0, t=2) == set()
+
+    def test_greedy_is_sound_on_random_functions(self):
+        game = RandomFunctionGame(8, k=2, seed=4)
+        rng = random.Random(0)
+        for _ in range(20):
+            values = game.sample(rng)
+            for target in (0, 1):
+                s = greedy_force_set(game, values, target, t=4)
+                if s is not None:
+                    assert game.outcome_of_hidden(values, s) == target
+
+    @given(st.integers(min_value=0, max_value=2 ** 8 - 1))
+    @settings(max_examples=80)
+    def test_greedy_never_beats_exhaustive(self, packed):
+        """If greedy finds a witness, exhaustive finds one no larger."""
+        bits = tuple((packed >> i) & 1 for i in range(8))
+        game = RandomFunctionGame(8, k=2, seed=7)
+        s_greedy = greedy_force_set(game, bits, 1, t=3)
+        if s_greedy is not None:
+            s_exh = exhaustive_force_set(game, bits, 1, t=3)
+            assert s_exh is not None
+            assert len(s_exh) <= len(s_greedy)
+
+
+class TestForceSetDispatch:
+    def test_uses_exact_oracle_first(self):
+        game = MajorityGame(5)
+        s = force_set(game, (1, 1, 1, 0, 0), 0, t=2)
+        assert s is not None
+
+    def test_exact_oracle_none_is_final(self):
+        game = MajorityDefaultZeroGame(5)
+        # Even with allow_exhaustive, the exact oracle's None is trusted.
+        assert (
+            force_set(game, (0, 1, 0, 0, 0), 1, t=5, allow_exhaustive=True)
+            is None
+        )
+
+    def test_falls_back_to_greedy_then_exhaustive(self):
+        game = RandomFunctionGame(6, k=2, seed=11)
+        rng = random.Random(3)
+        values = game.sample(rng)
+        target = 1 - game.outcome(values)
+        s = force_set(game, values, target, t=6, allow_exhaustive=True)
+        # With a full hiding budget on a non-constant pseudorandom f,
+        # a witness essentially always exists; verify soundness if so.
+        if s is not None:
+            assert game.outcome_of_hidden(values, s) == target
+
+    def test_rejects_negative_budget(self):
+        with pytest.raises(ConfigurationError):
+            force_set(MajorityGame(3), (1, 1, 0), 0, t=-1)
+
+
+class TestControlProbability:
+    def test_full_budget_controls_majority_to_zero(self):
+        game = MajorityGame(9)
+        p = control_probability(
+            game, 0, t=9, trials=100, rng=random.Random(0)
+        )
+        assert p == 1.0
+
+    def test_zero_budget_is_base_rate(self):
+        game = MajorityGame(9)
+        p = control_probability(
+            game, 1, t=0, trials=400, rng=random.Random(0)
+        )
+        assert 0.3 < p < 0.7  # Pr(majority of 9 fair coins is 1) = 1/2
+
+    def test_rejects_zero_trials(self):
+        with pytest.raises(ConfigurationError):
+            control_probability(MajorityGame(3), 0, 1, trials=0)
+
+
+class TestFindControllableOutcome:
+    def test_corollary22_on_majority(self):
+        n = 1024
+        game = MajorityGame(n)
+        t = min(n, coin_control_budget(n, 2))
+        report = find_controllable_outcome(
+            game, t, trials=150, rng=random.Random(5)
+        )
+        assert report.paper_bound_met()
+
+    def test_corollary22_on_one_sided_game(self):
+        """Even the one-sided game satisfies the corollary: *some*
+        outcome (namely 0) is controllable."""
+        n = 1024
+        game = MajorityDefaultZeroGame(n)
+        t = min(n, coin_control_budget(n, 2))
+        report = find_controllable_outcome(
+            game, t, trials=150, rng=random.Random(5)
+        )
+        assert report.best_outcome == 0
+        assert report.paper_bound_met()
+
+    def test_report_fields(self):
+        game = ParityGame(16)
+        report = find_controllable_outcome(
+            game, 2, trials=50, rng=random.Random(1)
+        )
+        assert report.n == 16
+        assert report.k == 2
+        assert report.t == 2
+        assert len(report.per_outcome) == 2
+        assert report.best_probability == max(report.per_outcome)
+
+    def test_exhaustive_small_random_game(self):
+        """Lemma 2.1 quantifies over arbitrary f: on a tiny random
+        game, a full-budget adversary controls some outcome for every
+        input (verified exhaustively)."""
+        game = RandomFunctionGame(6, k=2, seed=13)
+        report = find_controllable_outcome(
+            game,
+            t=6,
+            trials=64,
+            rng=random.Random(2),
+            allow_exhaustive=True,
+        )
+        assert report.best_probability >= 0.9

@@ -1,0 +1,87 @@
+"""Tests for communication-cost accounting (repro.sim.comm)."""
+
+import pytest
+
+from repro.adversary import BenignAdversary, StaticAdversary
+from repro.protocols import FloodSetProtocol, SynRanProtocol
+from repro.sim.comm import CommStats, communication_stats, messages_in_round
+from repro.sim.engine import Engine
+
+
+class TestMessagesInRound:
+    def run_trace(self, n, adversary, rounds_protocol_t=1):
+        engine = Engine(
+            FloodSetProtocol.for_resilience(rounds_protocol_t),
+            adversary,
+            n,
+            seed=0,
+        )
+        return engine.run([i % 2 for i in range(n)]).trace
+
+    def test_failure_free_full_mesh(self):
+        trace = self.run_trace(4, BenignAdversary())
+        # 4 senders x 3 recipients each.
+        assert messages_in_round(trace.rounds[0]) == 12
+
+    def test_silent_crash_removes_both_directions(self):
+        trace = self.run_trace(4, StaticAdversary(t=1, schedule={0: [3]}))
+        # Victim 3 sends nothing and receives nothing: 3 senders x 2.
+        assert messages_in_round(trace.rounds[0]) == 6
+
+    def test_partial_crash_counts_delivered_only(self):
+        trace = self.run_trace(
+            4, StaticAdversary(t=1, schedule={0: {3: [0]}})
+        )
+        # Victim 3 delivered to 0 only: 3*2 + 1.
+        assert messages_in_round(trace.rounds[0]) == 7
+
+    def test_post_crash_rounds_shrink(self):
+        trace = self.run_trace(
+            4, StaticAdversary(t=1, schedule={0: [3]}), rounds_protocol_t=1
+        )
+        assert messages_in_round(trace.rounds[1]) == 6  # 3 survivors
+
+
+class TestCommunicationStats:
+    def test_floodset_totals(self):
+        n, t = 5, 2
+        engine = Engine(
+            FloodSetProtocol.for_resilience(t), BenignAdversary(), n, seed=0
+        )
+        trace = engine.run([1] * n).trace
+        stats = communication_stats(trace)
+        per_round = n * (n - 1)
+        assert stats.rounds == t + 1
+        assert stats.per_round == [per_round] * (t + 1)
+        assert stats.total_messages == per_round * (t + 1)
+        assert stats.peak_round == per_round
+        assert stats.mean_per_round() == pytest.approx(per_round)
+
+    def test_synran_message_budget_scales_with_stall(self):
+        from repro.adversary import TallyAttackAdversary
+
+        n = 32
+        inputs = [1] * 18 + [0] * 14
+        benign = Engine(
+            SynRanProtocol(), BenignAdversary(), n, seed=1
+        ).run(inputs)
+        attacked = Engine(
+            SynRanProtocol(),
+            TallyAttackAdversary(n),
+            n,
+            seed=1,
+            strict_termination=False,
+        ).run(inputs)
+        cheap = communication_stats(benign.trace)
+        costly = communication_stats(attacked.trace)
+        assert costly.total_messages > 3 * cheap.total_messages
+
+    def test_empty_trace(self):
+        from repro.sim.trace import ExecutionTrace
+
+        stats = communication_stats(
+            ExecutionTrace(n=3, t=0, inputs=(0, 0, 0), seed=None)
+        )
+        assert stats.total_messages == 0
+        assert stats.peak_round == 0
+        assert stats.mean_per_round() == 0.0

@@ -1,0 +1,121 @@
+"""Tests for the Schechtman blow-up module (repro.analysis.concentration)."""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis.concentration import (
+    blowup_probability_threshold_set,
+    paper_h,
+    sampled_blowup_probability,
+    schechtman_l0,
+    schechtman_lower_bound,
+    threshold_set_for_mass,
+)
+from repro.errors import ConfigurationError
+
+
+class TestClosedForms:
+    def test_l0_formula(self):
+        assert schechtman_l0(100, 0.01) == pytest.approx(
+            2.0 * math.sqrt(100 * math.log(100))
+        )
+
+    def test_l0_zero_for_full_mass(self):
+        assert schechtman_l0(100, 1.0) == 0.0
+
+    def test_bound_zero_below_l0(self):
+        assert schechtman_lower_bound(100, 0.01, 1.0) == 0.0
+
+    def test_bound_approaches_one(self):
+        assert schechtman_lower_bound(100, 0.5, 90) > 0.99
+
+    def test_paper_h(self):
+        n = 64
+        assert paper_h(n) == pytest.approx(4 * math.sqrt(n * math.log(n)))
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ConfigurationError):
+            schechtman_l0(10, 0.0)
+
+
+class TestThresholdSets:
+    def test_mass_search(self):
+        m, mass = threshold_set_for_mass(16, 0.05)
+        assert mass >= 0.05
+        if m > 0:
+            prev = sum(
+                math.comb(16, i) for i in range(m)
+            ) / 2.0 ** 16
+            assert prev < 0.05
+
+    def test_blowup_is_binomial_cdf(self):
+        # B(A, l) for A = {|x| <= m} is {|x| <= m + l}.
+        n, m, l = 10, 2, 3
+        expected = sum(math.comb(10, i) for i in range(6)) / 1024
+        assert blowup_probability_threshold_set(n, m, l) == pytest.approx(
+            expected
+        )
+
+    def test_blowup_full_when_radius_covers(self):
+        assert blowup_probability_threshold_set(10, 0, 10) == 1.0
+
+    def test_blowup_monotone_in_radius(self):
+        values = [
+            blowup_probability_threshold_set(20, 3, l) for l in range(10)
+        ]
+        assert values == sorted(values)
+
+    def test_rejects_negative_radius(self):
+        with pytest.raises(ConfigurationError):
+            blowup_probability_threshold_set(10, 2, -1)
+
+
+class TestSchechtmanInequality:
+    """The inequality the paper leans on, verified exactly on the
+    near-extremal threshold sets."""
+
+    def test_paper_parameters(self):
+        for n in (64, 256, 1024):
+            alpha = 1.0 / n
+            m, actual = threshold_set_for_mass(n, alpha)
+            h = int(paper_h(n))
+            exact = blowup_probability_threshold_set(n, m, h)
+            assert exact >= schechtman_lower_bound(n, actual, h)
+            assert exact >= 1.0 - 1.0 / n
+
+    def test_generic_radii(self):
+        n = 128
+        m, actual = threshold_set_for_mass(n, 0.02)
+        l0 = schechtman_l0(n, actual)
+        for l in (int(l0) + 1, int(l0) + 10, int(l0) + 30):
+            exact = blowup_probability_threshold_set(n, m, l)
+            assert exact >= schechtman_lower_bound(n, actual, l)
+
+
+class TestSampledBlowup:
+    def test_matches_exact_for_threshold_set(self):
+        n, m, l = 10, 2, 2
+        members = []
+        for x in range(2 ** n):
+            bits = [(x >> i) & 1 for i in range(n)]
+            if sum(bits) <= m:
+                members.append(bits)
+        est = sampled_blowup_probability(
+            n, members, l, trials=3000, rng=random.Random(0)
+        )
+        exact = blowup_probability_threshold_set(n, m, l)
+        assert est == pytest.approx(exact, abs=0.04)
+
+    def test_rejects_empty_set(self):
+        with pytest.raises(ConfigurationError):
+            sampled_blowup_probability(4, [], 1)
+
+    def test_zero_radius_is_membership(self):
+        n = 6
+        members = [[0] * n]
+        est = sampled_blowup_probability(
+            n, members, 0, trials=2000, rng=random.Random(1)
+        )
+        assert est == pytest.approx(2.0 ** -n, abs=0.02)

@@ -1,0 +1,91 @@
+"""Tests for the Lemma 4.4 deviation bound (repro.analysis.deviation)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.deviation import (
+    corollary45_bound,
+    corollary45_threshold,
+    empirical_deviation_probability,
+    exact_deviation_probability,
+    lemma44_bound,
+)
+from repro.errors import ConfigurationError
+
+
+class TestLemma44Bound:
+    def test_value_at_zero(self):
+        assert lemma44_bound(0.0) == pytest.approx(
+            math.exp(-4.0) / math.sqrt(2 * math.pi)
+        )
+
+    def test_decreasing_in_t(self):
+        values = [lemma44_bound(t) for t in (0.0, 0.5, 1.0, 2.0)]
+        assert values == sorted(values, reverse=True)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            lemma44_bound(-0.1)
+
+
+class TestExactTail:
+    def test_entire_range_is_one(self):
+        # Pr(x >= 0) where threshold puts lo at 0.
+        assert exact_deviation_probability(4, -10) == 1.0
+
+    def test_impossible_threshold_is_zero(self):
+        assert exact_deviation_probability(4, 10) == 0.0
+
+    def test_known_small_case(self):
+        # n=4: Pr(x - 2 >= 1) = Pr(x >= 3) = (4 + 1)/16.
+        assert exact_deviation_probability(4, 1) == pytest.approx(5 / 16)
+
+    def test_median_tail_about_half(self):
+        # Pr(x - n/2 >= 0) > 1/2 for even n (includes the mode).
+        p = exact_deviation_probability(100, 0)
+        assert 0.5 < p < 0.6
+
+    def test_large_n_no_overflow(self):
+        p = exact_deviation_probability(4096, math.sqrt(4096))
+        assert 0.0 < p < 0.5
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ConfigurationError):
+            exact_deviation_probability(0, 1)
+
+
+class TestLemma44Inequality:
+    """The lemma itself: exact tail >= bound for all valid (n, t)."""
+
+    @given(
+        st.sampled_from([64, 144, 256, 400, 1024]),
+        st.floats(min_value=0.0, max_value=1.2),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bound_is_valid(self, n, t):
+        if t >= math.sqrt(n) / 8:
+            return
+        exact = exact_deviation_probability(n, t * math.sqrt(n))
+        assert exact >= lemma44_bound(t)
+
+    def test_corollary45(self):
+        for n in (64, 256, 1024, 4096):
+            exact = exact_deviation_probability(
+                n, corollary45_threshold(n)
+            )
+            assert exact >= corollary45_bound(n)
+
+
+class TestEmpirical:
+    def test_matches_exact(self):
+        n = 256
+        thr = 8.0
+        exact = exact_deviation_probability(n, thr)
+        emp = empirical_deviation_probability(n, thr, trials=100_000)
+        assert emp == pytest.approx(exact, abs=0.01)
+
+    def test_rejects_zero_trials(self):
+        with pytest.raises(ConfigurationError):
+            empirical_deviation_probability(8, 1.0, trials=0)

@@ -1,0 +1,278 @@
+"""Tests for the reference engine's mechanics and invariants."""
+
+import random
+
+import pytest
+
+from repro.adversary import BenignAdversary, StaticAdversary
+from repro.adversary.base import Adversary
+from repro.errors import (
+    BudgetExceededError,
+    ConfigurationError,
+    ProtocolViolationError,
+    TerminationViolation,
+)
+from repro.protocols import FloodSetProtocol, SynRanProtocol
+from repro.protocols.base import ConsensusProtocol
+from repro.sim.engine import Engine, default_max_rounds
+from repro.sim.model import FailureDecision, ProcessCore
+
+
+class EchoProtocol(ConsensusProtocol):
+    """Test protocol: records its inboxes, decides after `rounds` rounds."""
+
+    name = "echo"
+
+    def __init__(self, rounds=2):
+        self.rounds = rounds
+
+    def initial_state(self, pid, n, input_bit, rng):
+        state = ProcessCore(pid=pid, n=n, input_bit=input_bit, rng=rng)
+        state.inboxes = []
+        return state
+
+    def send(self, state, round_index):
+        return ("ECHO", state.pid, round_index)
+
+    def receive(self, state, round_index, inbox):
+        state.inboxes.append(dict(inbox))
+        if round_index + 1 >= self.rounds:
+            state.decide(0)
+            state.halt()
+
+
+class GreedyAdversary(Adversary):
+    """Crashes as many processes as possible every round (overspends)."""
+
+    name = "greedy"
+
+    def on_round(self, view):
+        return FailureDecision.silence(sorted(view.alive)[:2])
+
+
+class TestEngineConstruction:
+    def test_rejects_bad_n(self):
+        with pytest.raises(ConfigurationError):
+            Engine(EchoProtocol(), BenignAdversary(), 0)
+
+    def test_rejects_budget_above_n(self):
+        with pytest.raises(ConfigurationError):
+            Engine(EchoProtocol(), StaticAdversary(t=5, schedule={}), 3)
+
+    def test_rejects_bad_max_rounds(self):
+        with pytest.raises(ConfigurationError):
+            Engine(EchoProtocol(), BenignAdversary(), 3, max_rounds=0)
+
+    def test_default_max_rounds_formula(self):
+        assert default_max_rounds(10) == 144
+
+    def test_rejects_wrong_input_length(self):
+        engine = Engine(EchoProtocol(), BenignAdversary(), 3)
+        with pytest.raises(ConfigurationError):
+            engine.run([0, 1])
+
+
+class TestDelivery:
+    def test_full_delivery_without_failures(self):
+        engine = Engine(EchoProtocol(rounds=1), BenignAdversary(), 4, seed=1)
+        result = engine.run([0, 1, 0, 1])
+        for pid, state in result.states.items():
+            assert set(state.inboxes[0]) == {0, 1, 2, 3}
+
+    def test_self_delivery_always_present(self):
+        engine = Engine(EchoProtocol(rounds=1), BenignAdversary(), 3, seed=1)
+        result = engine.run([0, 0, 0])
+        for pid, state in result.states.items():
+            assert pid in state.inboxes[0]
+
+    def test_silent_crash_suppresses_all_messages(self):
+        adv = StaticAdversary(t=1, schedule={0: [2]})
+        engine = Engine(EchoProtocol(rounds=1), adv, 4, seed=1)
+        result = engine.run([0] * 4)
+        for pid in (0, 1, 3):
+            assert 2 not in result.states[pid].inboxes[0]
+        assert result.crashed == {2}
+
+    def test_partial_delivery_respects_recipient_set(self):
+        adv = StaticAdversary(t=1, schedule={0: {2: [0]}})
+        engine = Engine(EchoProtocol(rounds=1), adv, 4, seed=1)
+        result = engine.run([0] * 4)
+        assert 2 in result.states[0].inboxes[0]
+        assert 2 not in result.states[1].inboxes[0]
+        assert 2 not in result.states[3].inboxes[0]
+
+    def test_crashed_process_sends_nothing_later(self):
+        adv = StaticAdversary(t=1, schedule={0: {2: [0, 1, 3]}})
+        engine = Engine(EchoProtocol(rounds=2), adv, 4, seed=1)
+        result = engine.run([0] * 4)
+        # Round 0: delivered to everyone; round 1: silent forever.
+        assert 2 in result.states[0].inboxes[0]
+        assert 2 not in result.states[0].inboxes[1]
+
+    def test_victim_does_not_transition(self):
+        adv = StaticAdversary(t=1, schedule={0: [2]})
+        engine = Engine(EchoProtocol(rounds=1), adv, 4, seed=1)
+        result = engine.run([0] * 4)
+        assert result.states[2].inboxes == []
+
+
+class TestBudget:
+    def test_budget_enforced(self):
+        engine = Engine(
+            EchoProtocol(rounds=10), GreedyAdversary(t=3), 8, seed=1
+        )
+        with pytest.raises(BudgetExceededError):
+            engine.run([0] * 8)
+
+    def test_budget_exactly_spent_is_fine(self):
+        adv = StaticAdversary(t=2, schedule={0: [0], 1: [1]})
+        engine = Engine(EchoProtocol(rounds=3), adv, 4, seed=1)
+        result = engine.run([0] * 4)
+        assert len(result.crashed) == 2
+
+    def test_crashing_dead_process_rejected(self):
+        class DoubleKill(Adversary):
+            name = "double-kill"
+
+            def on_round(self, view):
+                # Always "crash" pid 0, even after it is dead.
+                return FailureDecision.silence([0])
+
+        engine = Engine(EchoProtocol(rounds=4), DoubleKill(t=4), 4, seed=1)
+        with pytest.raises(ConfigurationError):
+            engine.run([0] * 4)
+
+
+class TestTermination:
+    def test_horizon_raises_when_strict(self):
+        class NeverDecide(EchoProtocol):
+            def receive(self, state, round_index, inbox):
+                pass
+
+        engine = Engine(
+            NeverDecide(), BenignAdversary(), 3, max_rounds=5, seed=1
+        )
+        with pytest.raises(TerminationViolation):
+            engine.run([0] * 3)
+
+    def test_horizon_flagged_when_lenient(self):
+        class NeverDecide(EchoProtocol):
+            def receive(self, state, round_index, inbox):
+                pass
+
+        engine = Engine(
+            NeverDecide(),
+            BenignAdversary(),
+            3,
+            max_rounds=5,
+            seed=1,
+            strict_termination=False,
+        )
+        result = engine.run([0] * 3)
+        assert result.decision_round is None
+        assert result.rounds == 5
+
+    def test_halt_without_decide_is_violation(self):
+        class BadHalt(EchoProtocol):
+            def receive(self, state, round_index, inbox):
+                state.halt()
+
+        engine = Engine(BadHalt(), BenignAdversary(), 2, seed=1)
+        with pytest.raises(ProtocolViolationError):
+            engine.run([0, 0])
+
+    def test_all_crashed_ends_execution(self):
+        adv = StaticAdversary(t=2, schedule={0: [0, 1]})
+        engine = Engine(EchoProtocol(rounds=9), adv, 2, seed=1)
+        result = engine.run([0, 0])
+        assert result.rounds == 1
+        assert result.decision_round == 0  # no survivors left undecided
+
+
+class TestDeterminism:
+    def test_same_seed_same_execution(self):
+        a = Engine(SynRanProtocol(), BenignAdversary(), 16, seed=42).run(
+            [i % 2 for i in range(16)]
+        )
+        b = Engine(SynRanProtocol(), BenignAdversary(), 16, seed=42).run(
+            [i % 2 for i in range(16)]
+        )
+        assert a.decision_round == b.decision_round
+        assert a.decisions == b.decisions
+
+    def test_different_seed_can_differ(self):
+        # Not guaranteed for any single pair, but across many seeds the
+        # decision value on a split input must vary (it is coin-driven).
+        decisions = set()
+        for seed in range(30):
+            res = Engine(
+                SynRanProtocol(), BenignAdversary(), 9, seed=seed
+            ).run([1, 1, 1, 1, 1, 0, 0, 0, 0])
+            decisions.add(res.common_decision())
+        assert len(decisions) == 2
+
+    def test_trace_records_all_rounds(self):
+        result = Engine(
+            EchoProtocol(rounds=3), BenignAdversary(), 3, seed=1
+        ).run([0] * 3)
+        assert len(result.trace) == result.rounds
+        assert [r.index for r in result.trace] == list(range(result.rounds))
+
+
+class TestResultAccessors:
+    def test_survivors(self):
+        adv = StaticAdversary(t=1, schedule={0: [1]})
+        result = Engine(EchoProtocol(rounds=2), adv, 3, seed=1).run([0] * 3)
+        assert result.survivors == {0, 2}
+
+    def test_common_decision_none_when_mixed(self):
+        result = Engine(
+            EchoProtocol(rounds=1), BenignAdversary(), 2, seed=1
+        ).run([0, 0])
+        assert result.common_decision() == 0
+
+    def test_record_payloads_off(self):
+        engine = Engine(
+            EchoProtocol(rounds=1),
+            BenignAdversary(),
+            2,
+            seed=1,
+            record_payloads=False,
+        )
+        result = engine.run([0, 0])
+        assert result.trace.rounds[0].payloads == {}
+
+
+class TestAdversaryView:
+    def test_view_contents(self):
+        seen = {}
+
+        class Inspect(Adversary):
+            name = "inspect"
+
+            def on_round(self, view):
+                if view.round_index == 0:
+                    seen["alive"] = set(view.alive)
+                    seen["budget"] = view.budget_remaining
+                    seen["inputs"] = view.inputs
+                    seen["payloads"] = dict(view.payloads)
+                return FailureDecision.none()
+
+        engine = Engine(EchoProtocol(rounds=1), Inspect(t=2), 3, seed=1)
+        engine.run([1, 0, 1])
+        assert seen["alive"] == {0, 1, 2}
+        assert seen["budget"] == 2
+        assert seen["inputs"] == (1, 0, 1)
+        assert seen["payloads"][1] == ("ECHO", 1, 0)
+
+    def test_none_decision_treated_as_no_failures(self):
+        class LazyAdversary(Adversary):
+            name = "lazy"
+
+            def on_round(self, view):
+                return None
+
+        result = Engine(
+            EchoProtocol(rounds=1), LazyAdversary(t=1), 2, seed=1
+        ).run([0, 0])
+        assert result.crashed == frozenset()

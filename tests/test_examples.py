@@ -1,0 +1,73 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are documentation that executes; these tests keep them from
+rotting.  Each runs as a subprocess with small arguments.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "32")
+        assert "benign adversary" in out
+        assert "tally attack" in out
+        assert "agreement=True" in out
+
+    def test_adversarial_stall(self):
+        out = run_example("adversarial_stall.py", "--trials", "2")
+        assert "thm1 shape" in out
+        assert "256" in out
+
+    def test_coin_flipping_bias(self):
+        out = run_example("coin_flipping_bias.py", "128")
+        assert "majority-default-0" in out
+        assert "parity" in out
+
+    def test_valency_explorer(self):
+        out = run_example("valency_explorer.py")
+        assert "bivalent" in out
+        assert "optimal stalling adversary" in out
+
+    def test_protocol_comparison(self):
+        out = run_example("protocol_comparison.py", "24")
+        assert "floodset" in out
+        assert "stalls" in out
+
+    def test_multiround_coin_games(self):
+        out = run_example("multiround_coin_games.py", "49")
+        assert "iterated majority" in out
+        assert "P(outcome=0)" in out
+
+    def test_sweep_and_export(self, tmp_path):
+        out = run_example("sweep_and_export.py", str(tmp_path))
+        assert "cells swept" in out
+        assert (tmp_path / "sweep.csv").exists()
+        assert (tmp_path / "sweep.json").exists()
+
+    def test_analytic_validation(self):
+        out = run_example("analytic_validation.py", "16")
+        assert "analytic" in out
+        assert "coin" in out
+
+    def test_lemma21_walkthrough(self):
+        out = run_example("lemma21_walkthrough.py")
+        assert "ControlCertificate" in out
+        assert "IntersectionWitness" in out

@@ -1,0 +1,119 @@
+"""Structure and claim tests for the experiment suite itself.
+
+The benchmarks run the experiments end-to-end; these tests pin down
+the table *contracts* (columns, row counts, note presence) and the
+cheap claims, so a refactor of experiments.py cannot silently change
+what the benchmarks consume.  The expensive experiments (E1) are only
+structure-checked through their registry entry.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness.ablations import ALL_ABLATIONS
+from repro.harness.experiments import (
+    ALL_EXPERIMENTS,
+    experiment_e10_concentration,
+    experiment_e2_one_side_bias,
+    experiment_e3_deviation,
+    experiment_e4_valency,
+    experiment_e9_correctness,
+    main,
+)
+from repro.harness.report import Table
+
+
+class TestRegistry:
+    def test_all_thirteen_registered(self):
+        assert sorted(ALL_EXPERIMENTS) == sorted(
+            f"E{i}" for i in range(1, 14)
+        )
+
+    def test_all_ablations_registered(self):
+        assert sorted(ALL_ABLATIONS) == ["A1", "A2", "A3", "A4"]
+
+    def test_scale_validated(self):
+        for fn in ALL_EXPERIMENTS.values():
+            with pytest.raises(ConfigurationError):
+                fn("huge")
+
+
+class TestE2:
+    def test_table_contract(self):
+        table = experiment_e2_one_side_bias("quick")
+        assert isinstance(table, Table)
+        assert list(table.columns) == [
+            "n", "t", "P(force 0)", "P(force 1)", "P(ones>n/2)",
+        ]
+        assert len(table.rows) == 2
+        assert table.notes
+
+    def test_asymmetry_claim(self):
+        table = experiment_e2_one_side_bias("quick")
+        for p0, p1 in zip(
+            table.column("P(force 0)"), table.column("P(force 1)")
+        ):
+            assert p0 > 0.99
+            assert p1 < 0.6
+
+
+class TestE3:
+    def test_inequality_column_all_yes(self):
+        table = experiment_e3_deviation("quick")
+        assert all(table.column("exact>=bound"))
+
+    def test_includes_corollary_rows(self):
+        table = experiment_e3_deviation("quick")
+        assert "c4.5" in table.column("t")
+
+
+class TestE4:
+    def test_classification_contract(self):
+        table = experiment_e4_valency("quick")
+        assert len(table.rows) == 8  # all 2^3 input vectors
+        classes = set(table.column("class"))
+        assert "bivalent" in classes
+        assert "0-valent" in classes
+        assert "1-valent" in classes
+
+    def test_probability_bounds(self):
+        table = experiment_e4_valency("quick")
+        for lo, hi in zip(
+            table.column("min Pr[1]"), table.column("max Pr[1]")
+        ):
+            assert 0.0 <= lo <= hi <= 1.0
+
+
+class TestE9:
+    def test_zero_violations(self):
+        table = experiment_e9_correctness("quick")
+        assert all(v == 0 for v in table.column("violations"))
+
+    def test_covers_three_protocols(self):
+        table = experiment_e9_correctness("quick")
+        assert set(table.column("protocol")) == {
+            "synran", "floodset", "benor",
+        }
+
+
+class TestE10:
+    def test_blowup_claim(self):
+        table = experiment_e10_concentration("quick")
+        assert all(table.column(">= 1-1/n"))
+        for bound, exact in zip(
+            table.column("schechtman bound"),
+            table.column("exact Pr(B(A,h))"),
+        ):
+            assert exact >= bound
+
+
+class TestCli:
+    def test_main_runs_subset(self, capsys):
+        assert main(["--only", "E4", "E10"]) == 0
+        out = capsys.readouterr().out
+        assert "E4" in out
+        assert "E10" in out
+
+    def test_main_rejects_unknown_id(self):
+        with pytest.raises(SystemExit):
+            main(["--only", "E99"])

@@ -1,0 +1,169 @@
+"""Edge-path tests for the vectorized engine and its adversaries."""
+
+import math
+
+import pytest
+
+from repro._math import deterministic_stage_threshold
+from repro.adversary.oblivious import calibrated_drip_schedule
+from repro.errors import ConfigurationError, TerminationViolation
+from repro.protocols import SynRanProtocol
+from repro.sim.fast import (
+    FastBenign,
+    FastEngine,
+    FastOblivious,
+    FastRandomCrash,
+    FastTallyAttack,
+)
+
+
+class TestStrictTermination:
+    def test_strict_raises_on_horizon(self):
+        # Mixed inputs with max_rounds=1 cannot decide in time.
+        engine = FastEngine(
+            SynRanProtocol(),
+            FastBenign(),
+            16,
+            seed=0,
+            max_rounds=1,
+            strict_termination=True,
+        )
+        with pytest.raises(TerminationViolation):
+            engine.run([1] * 9 + [0] * 7)
+
+    def test_lenient_flags_instead(self):
+        engine = FastEngine(
+            SynRanProtocol(),
+            FastBenign(),
+            16,
+            seed=0,
+            max_rounds=1,
+            strict_termination=False,
+        )
+        result = engine.run([1] * 9 + [0] * 7)
+        assert not result.terminated
+        assert result.decision_round is None
+        assert result.rounds == 1
+
+
+class TestDeterministicStagePath:
+    def test_mass_kill_reaches_det_stage_and_agrees(self):
+        n = 64
+        threshold = deterministic_stage_threshold(n)
+        kill = n - max(1, int(threshold) - 1)
+
+        class Burst(FastBenign):
+            def __init__(self):
+                super().__init__(t=kill)
+
+            def choose(self, view):
+                if view.round_index == 1:
+                    k1 = min(kill, view.ones)
+                    return (k1, min(kill - k1, view.zeros))
+                return (0, 0)
+
+        result = FastEngine(
+            SynRanProtocol(), Burst(), n, seed=3
+        ).run([1] * n)
+        assert result.terminated
+        assert result.decision == 1
+
+    def test_kill_during_det_stage(self):
+        """Crashes continuing into the flood must not break agreement
+        or termination in the fast engine."""
+        n = 64
+        threshold = int(deterministic_stage_threshold(n))
+
+        class BurstThenDrip(FastBenign):
+            def __init__(self):
+                super().__init__(t=n - 1)
+                self.spent = 0
+
+            def choose(self, view):
+                if view.round_index == 1:
+                    k = n - threshold + 1
+                elif view.senders > 2:
+                    k = 1
+                else:
+                    k = 0
+                k = min(k, self.t - self.spent, max(0, view.senders - 1))
+                self.spent += k
+                k1 = min(k, view.ones)
+                return (k1, min(k - k1, view.zeros))
+
+        result = FastEngine(
+            SynRanProtocol(), BurstThenDrip(), n, seed=4,
+            strict_termination=False,
+        ).run([1] * n)
+        assert result.terminated
+        assert result.decision == 1
+
+
+class TestFastOblivious:
+    def test_from_schedule_matches_budget(self):
+        n = 128
+        adv = FastOblivious.from_schedule(n, calibrated_drip_schedule)
+        result = FastEngine(
+            SynRanProtocol(), adv, n, seed=1, strict_termination=False
+        ).run([1] * 71 + [0] * 57)
+        assert result.terminated
+        assert result.crashes_used <= n
+
+    def test_calibrated_stalls_like_reference(self):
+        """The fast-engine calibrated oblivious run matches the
+        reference-engine stall magnitude (same deterministic count
+        recursion)."""
+        n = 128
+        adv = FastOblivious.from_schedule(n, calibrated_drip_schedule)
+        result = FastEngine(
+            SynRanProtocol(), adv, n, seed=1, strict_termination=False
+        ).run([1] * 71 + [0] * 57)
+        assert result.decision_round > 15
+
+    def test_overbudget_plan_rejected(self):
+        adv = FastOblivious(1, lambda n, t, rng: {0: 5})
+        engine = FastEngine(SynRanProtocol(), adv, 8, seed=0)
+        with pytest.raises(ConfigurationError):
+            engine.run([1] * 8)
+
+    def test_plan_clamped_to_senders(self):
+        # A plan killing more than the survivors simply clamps; the
+        # run still terminates.
+        adv = FastOblivious(7, lambda n, t, rng: {0: 7})
+        result = FastEngine(
+            SynRanProtocol(), adv, 8, seed=0, strict_termination=False
+        ).run([1] * 8)
+        assert result.terminated
+        assert result.survivors >= 1
+
+
+class TestSendersPerRound:
+    def test_tracked_and_monotone(self):
+        n = 64
+        result = FastEngine(
+            SynRanProtocol(),
+            FastTallyAttack(n),
+            n,
+            seed=5,
+            strict_termination=False,
+        ).run([1] * 36 + [0] * 28)
+        senders = result.senders_per_round
+        assert len(senders) == result.rounds
+        assert senders[0] == n
+        assert senders == sorted(senders, reverse=True)
+        # The population shrinks by exactly the crashes (no halts
+        # until the very end of a stalled run).
+        for r in range(1, len(senders)):
+            drop = senders[r - 1] - senders[r]
+            assert drop >= result.crashes_per_round[r - 1]
+
+
+class TestFastRandomCrashTrimLoop:
+    def test_trims_to_budget_when_rate_is_high(self):
+        n = 64
+        adv = FastRandomCrash(5, rate=1.0)
+        result = FastEngine(
+            SynRanProtocol(), adv, n, seed=2, strict_termination=False
+        ).run([1] * n)
+        assert result.crashes_used <= 5
+        assert result.terminated

@@ -1,0 +1,228 @@
+"""Tests for the vectorized engine and its equivalence to the
+reference engine under the silent-crash restriction."""
+
+import math
+import random
+
+import pytest
+
+from repro.adversary import BenignAdversary, TallyAttackAdversary
+from repro.errors import BudgetExceededError, ConfigurationError
+from repro.protocols import (
+    FloodSetProtocol,
+    SymmetricRanProtocol,
+    SynRanProtocol,
+)
+from repro.sim.engine import Engine
+from repro.sim.fast import (
+    FastBenign,
+    FastEngine,
+    FastRandomCrash,
+    FastTallyAttack,
+    FastView,
+)
+
+
+class TestConstruction:
+    def test_rejects_non_synran_protocol(self):
+        with pytest.raises(ConfigurationError):
+            FastEngine(
+                FloodSetProtocol.for_resilience(1), FastBenign(), 4
+            )
+
+    def test_accepts_symmetric_subclass(self):
+        FastEngine(SymmetricRanProtocol(), FastBenign(), 4)
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ConfigurationError):
+            FastEngine(SynRanProtocol(), FastBenign(), 0)
+
+    def test_rejects_overbudget_adversary(self):
+        with pytest.raises(ConfigurationError):
+            FastEngine(SynRanProtocol(), FastBenign(t=9), 4)
+
+    def test_rejects_non_bit_inputs(self):
+        engine = FastEngine(SynRanProtocol(), FastBenign(), 3)
+        with pytest.raises(ConfigurationError):
+            engine.run([0, 1, 2])
+
+    def test_rejects_wrong_length(self):
+        engine = FastEngine(SynRanProtocol(), FastBenign(), 3)
+        with pytest.raises(ConfigurationError):
+            engine.run([0, 1])
+
+
+class TestBasicRuns:
+    def test_unanimous_decides_that_value(self):
+        for bit in (0, 1):
+            result = FastEngine(
+                SynRanProtocol(), FastBenign(), 16, seed=1
+            ).run([bit] * 16)
+            assert result.decision == bit
+            assert result.terminated
+
+    def test_deterministic_replay(self):
+        inputs = [i % 2 for i in range(32)]
+        a = FastEngine(SynRanProtocol(), FastBenign(), 32, seed=9).run(
+            inputs
+        )
+        b = FastEngine(SynRanProtocol(), FastBenign(), 32, seed=9).run(
+            inputs
+        )
+        assert a.decision_round == b.decision_round
+        assert a.decision == b.decision
+
+    def test_crash_accounting(self):
+        n = 64
+        adv = FastTallyAttack(n)
+        result = FastEngine(
+            SynRanProtocol(), adv, n, seed=2, strict_termination=False
+        ).run([1] * 36 + [0] * 28)
+        assert result.crashes_used == sum(result.crashes_per_round)
+        assert result.crashes_used <= n
+        assert result.survivors == n - result.crashes_used
+
+    def test_bad_adversary_counts_rejected(self):
+        class Liar(FastBenign):
+            def choose(self, view):
+                return (view.ones + 1, 0)
+
+        engine = FastEngine(SynRanProtocol(), Liar(t=0), 4, seed=0)
+        with pytest.raises(ConfigurationError):
+            engine.run([1, 1, 0, 0])
+
+    def test_budget_overdraft_rejected(self):
+        class Overspender(FastBenign):
+            def __init__(self):
+                super().__init__(t=1)
+
+            def choose(self, view):
+                return (min(2, view.ones), 0)
+
+        engine = FastEngine(
+            SynRanProtocol(), Overspender(), 8, seed=0
+        )
+        with pytest.raises(BudgetExceededError):
+            engine.run([1] * 8)
+
+
+class TestFastView:
+    def test_received_count_convention(self):
+        view = FastView(
+            round_index=2,
+            n=10,
+            stage="probabilistic",
+            senders=8,
+            ones=5,
+            zeros=3,
+            tentative=0,
+            budget_remaining=4,
+            received_history=(10, 9),
+        )
+        assert view.received_count(-1) == 10
+        assert view.received_count(0) == 10
+        assert view.received_count(1) == 9
+
+
+class TestEngineEquivalence:
+    """The two engines implement the same protocol: identical
+    distributions of (decision round, decision) under matched
+    adversaries.  Verified by comparing Monte-Carlo means."""
+
+    def _reference_mean(self, n, inputs, seeds):
+        rounds, ones = [], 0
+        for seed in seeds:
+            result = Engine(
+                SynRanProtocol(), BenignAdversary(), n, seed=seed
+            ).run(inputs)
+            rounds.append(result.decision_round)
+            ones += 1 if result.common_decision() == 1 else 0
+        return sum(rounds) / len(rounds), ones / len(seeds)
+
+    def _fast_mean(self, n, inputs, seeds):
+        rounds, ones = [], 0
+        for seed in seeds:
+            result = FastEngine(
+                SynRanProtocol(), FastBenign(), n, seed=seed
+            ).run(inputs)
+            rounds.append(result.decision_round)
+            ones += 1 if result.decision == 1 else 0
+        return sum(rounds) / len(rounds), ones / len(seeds)
+
+    def test_benign_distribution_matches(self):
+        n = 21
+        inputs = [1] * 11 + [0] * 10
+        ref_rounds, ref_ones = self._reference_mean(
+            n, inputs, range(60)
+        )
+        fast_rounds, fast_ones = self._fast_mean(n, inputs, range(60))
+        assert fast_rounds == pytest.approx(ref_rounds, abs=1.0)
+        assert fast_ones == pytest.approx(ref_ones, abs=0.25)
+
+    def test_attack_stall_matches(self):
+        n = 32
+        inputs = [1] * 18 + [0] * 14
+        ref = []
+        for seed in range(6):
+            result = Engine(
+                SynRanProtocol(),
+                TallyAttackAdversary(n),
+                n,
+                seed=seed,
+                strict_termination=False,
+            ).run(inputs)
+            ref.append(result.decision_round)
+        fast = []
+        for seed in range(6):
+            result = FastEngine(
+                SynRanProtocol(),
+                FastTallyAttack(n),
+                n,
+                seed=seed,
+                strict_termination=False,
+            ).run(inputs)
+            fast.append(result.decision_round)
+        ref_mean = sum(ref) / len(ref)
+        fast_mean = sum(fast) / len(fast)
+        assert fast_mean == pytest.approx(ref_mean, rel=0.35)
+
+
+class TestFastAdversaries:
+    def test_fast_random_respects_budget(self):
+        n = 64
+        adv = FastRandomCrash(10, rate=0.5)
+        result = FastEngine(
+            SynRanProtocol(), adv, n, seed=3, strict_termination=False
+        ).run([i % 2 for i in range(n)])
+        assert result.crashes_used <= 10
+
+    def test_fast_tally_stalls(self):
+        n = 128
+        inputs = [1] * 71 + [0] * 57
+        benign = FastEngine(
+            SynRanProtocol(), FastBenign(), n, seed=4
+        ).run(inputs)
+        attacked = FastEngine(
+            SynRanProtocol(),
+            FastTallyAttack(n),
+            n,
+            seed=4,
+            strict_termination=False,
+        ).run(inputs)
+        assert attacked.decision_round > 5 * benign.decision_round
+
+    def test_fast_tally_validation(self):
+        with pytest.raises(ConfigurationError):
+            FastTallyAttack(4, propose_lo=0.9, propose_hi=0.5)
+
+    def test_scale_run_completes(self):
+        n = 4096
+        result = FastEngine(
+            SynRanProtocol(),
+            FastTallyAttack(n),
+            n,
+            seed=5,
+            strict_termination=False,
+        ).run([1] * math.ceil(0.55 * n) + [0] * (n - math.ceil(0.55 * n)))
+        assert result.terminated
+        assert result.decision in (0, 1)

@@ -1,0 +1,106 @@
+"""Tests for the deterministic FloodSet protocol."""
+
+import random
+
+import pytest
+
+from repro.adversary import (
+    BenignAdversary,
+    RandomCrashAdversary,
+    StaticAdversary,
+)
+from repro.errors import ConfigurationError
+from repro.protocols import FloodSetProtocol
+from repro.sim.checks import verify_execution
+from repro.sim.engine import Engine
+
+
+class TestConstruction:
+    def test_rejects_zero_rounds(self):
+        with pytest.raises(ConfigurationError):
+            FloodSetProtocol(rounds=0)
+
+    def test_for_resilience(self):
+        assert FloodSetProtocol.for_resilience(4).rounds == 5
+
+    def test_for_resilience_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            FloodSetProtocol.for_resilience(-1)
+
+
+class TestBasicRuns:
+    def test_decides_min_of_inputs(self):
+        engine = Engine(
+            FloodSetProtocol.for_resilience(1), BenignAdversary(), 4, seed=0
+        )
+        result = engine.run([1, 0, 1, 1])
+        assert verify_execution(result).decision == 0
+
+    def test_unanimous_input_decides_that_value(self):
+        engine = Engine(
+            FloodSetProtocol.for_resilience(2), BenignAdversary(), 4, seed=0
+        )
+        result = engine.run([1, 1, 1, 1])
+        assert verify_execution(result).decision == 1
+
+    def test_takes_exactly_t_plus_1_rounds(self):
+        for t in (0, 1, 3):
+            engine = Engine(
+                FloodSetProtocol.for_resilience(t),
+                BenignAdversary(),
+                5,
+                seed=0,
+            )
+            result = engine.run([0, 1, 0, 1, 0])
+            assert result.rounds == t + 1
+            assert result.decision_round == t
+
+    def test_single_process(self):
+        engine = Engine(
+            FloodSetProtocol.for_resilience(0), BenignAdversary(), 1, seed=0
+        )
+        result = engine.run([1])
+        assert verify_execution(result).decision == 1
+
+
+class TestUnderFailures:
+    def test_hidden_value_lost_when_owner_silenced(self):
+        # pid 0 holds the unique 0; crash it silently in round 0.
+        adv = StaticAdversary(t=1, schedule={0: [0]})
+        engine = Engine(FloodSetProtocol.for_resilience(1), adv, 3, seed=0)
+        result = engine.run([0, 1, 1])
+        assert verify_execution(result).decision == 1
+
+    def test_partially_leaked_value_still_floods(self):
+        # pid 0's unique 0 reaches only pid 1, which refloods it.
+        adv = StaticAdversary(t=1, schedule={0: {0: [1]}})
+        engine = Engine(FloodSetProtocol.for_resilience(1), adv, 3, seed=0)
+        result = engine.run([0, 1, 1])
+        verdict = verify_execution(result)
+        assert verdict.ok
+        assert verdict.decision == 0
+
+    def test_chained_partial_leaks_agree(self):
+        # The classic FloodSet worst case: each round a crasher leaks
+        # the minority value to exactly one new process.
+        adv = StaticAdversary(
+            t=2, schedule={0: {0: [1]}, 1: {1: [2]}}
+        )
+        engine = Engine(FloodSetProtocol.for_resilience(2), adv, 4, seed=0)
+        result = engine.run([0, 1, 1, 1])
+        verdict = verify_execution(result)
+        assert verdict.ok  # 3 rounds > 2 failures: a clean round exists
+
+    def test_agreement_under_random_crashes(self):
+        for seed in range(20):
+            t = 3
+            engine = Engine(
+                FloodSetProtocol.for_resilience(t),
+                RandomCrashAdversary(t, rate=0.2),
+                7,
+                seed=seed,
+            )
+            rng = random.Random(seed)
+            inputs = [rng.randrange(2) for _ in range(7)]
+            result = engine.run(inputs)
+            assert verify_execution(result).ok, f"seed {seed}"

@@ -1,0 +1,125 @@
+"""Tests for the Goldreich–Petrank-style round-trigger hybrid."""
+
+import random
+
+import pytest
+
+from repro.adversary import (
+    BenignAdversary,
+    RandomCrashAdversary,
+    StaticAdversary,
+    TallyAttackAdversary,
+)
+from repro.errors import ConfigurationError
+from repro.protocols import GPHybridProtocol, SynRanProtocol
+from repro.protocols.synran import Stage
+from repro.sim.checks import verify_execution
+from repro.sim.engine import Engine
+
+
+class TestConstruction:
+    def test_rejects_bad_rounds(self):
+        with pytest.raises(ConfigurationError):
+            GPHybridProtocol(random_rounds=0, det_rounds=3)
+        with pytest.raises(ConfigurationError):
+            GPHybridProtocol(random_rounds=3, det_rounds=0)
+
+    def test_det_handoff_cannot_be_enabled(self):
+        with pytest.raises(ConfigurationError):
+            GPHybridProtocol(
+                random_rounds=3, det_rounds=3, det_handoff=True
+            )
+
+    def test_for_resilience_provisions_worst_case(self):
+        proto = GPHybridProtocol.for_resilience(16, 7)
+        assert proto.det_rounds == 8
+
+    def test_for_resilience_validates_t(self):
+        with pytest.raises(ConfigurationError):
+            GPHybridProtocol.for_resilience(8, 9)
+
+    def test_det_stage_rounds_is_fixed(self):
+        proto = GPHybridProtocol(random_rounds=4, det_rounds=11)
+        assert proto.det_stage_rounds(1000) == 11
+
+
+class TestStageSwitch:
+    def test_switches_at_round_r(self):
+        proto = GPHybridProtocol(random_rounds=2, det_rounds=3)
+        state = proto.initial_state(0, 8, 1, random.Random(0))
+        inbox = {i: ("BIT", 1) for i in range(8)}
+        proto.receive(state, 0, inbox)
+        proto.receive(state, 1, inbox)
+        assert state.stage == Stage.PROBABILISTIC
+        proto.receive(state, 2, inbox)
+        assert state.stage == Stage.DETERMINISTIC
+        assert state.det_known == {1}
+
+    def test_flood_decides_after_det_rounds(self):
+        proto = GPHybridProtocol(random_rounds=1, det_rounds=2)
+        state = proto.initial_state(0, 4, 1, random.Random(0))
+        bits = {i: ("BIT", 1) for i in range(4)}
+        proto.receive(state, 0, bits)  # probabilistic round
+        proto.receive(state, 1, bits)  # switch + flood round 1
+        assert not state.decided
+        proto.receive(state, 2, {0: ("DET", frozenset({1}))})
+        assert state.decided and state.decision == 1
+
+
+class TestEndToEnd:
+    def test_consensus_benign(self):
+        n = 12
+        proto_factory = lambda: GPHybridProtocol.for_resilience(12, 4)
+        for inputs in ([1] * n, [0] * n, [i % 2 for i in range(n)]):
+            result = Engine(
+                proto_factory(), BenignAdversary(), n, seed=3
+            ).run(inputs)
+            assert verify_execution(result).ok
+
+    def test_consensus_under_random_crashes(self):
+        n, t = 10, 9
+        for seed in range(15):
+            proto = GPHybridProtocol.for_resilience(n, t)
+            adv = RandomCrashAdversary(t, rate=0.2)
+            result = Engine(proto, adv, n, seed=seed).run(
+                [seed % 2] * 5 + [1 - seed % 2] * 5
+            )
+            assert verify_execution(result).ok, f"seed {seed}"
+
+    def test_consensus_under_tally_attack(self):
+        n = 20
+        for seed in range(5):
+            proto = GPHybridProtocol.for_resilience(n, n, random_rounds=6)
+            result = Engine(
+                proto,
+                TallyAttackAdversary(n),
+                n,
+                seed=seed,
+                strict_termination=False,
+            ).run([1] * 11 + [0] * 9)
+            assert verify_execution(result).ok, f"seed {seed}"
+
+    def test_wasteful_tail_vs_synran(self):
+        """The ablation's point: when the adversary saves its budget,
+        the GP trigger pays its worst-case tail while SynRan's
+        survivor-count trigger never fires."""
+        n, t = 24, 23
+        inputs = [1] * 13 + [0] * 11
+        gp = Engine(
+            GPHybridProtocol.for_resilience(n, t, random_rounds=4),
+            BenignAdversary(),
+            n,
+            seed=5,
+        ).run(inputs)
+        synran = Engine(
+            SynRanProtocol(), BenignAdversary(), n, seed=5
+        ).run(inputs)
+        assert gp.decision_round >= 4 + t  # R + (t+1) - 1
+        assert synran.decision_round < gp.decision_round
+
+    def test_registry_entry(self):
+        from repro.protocols import make_protocol
+
+        proto = make_protocol("gp-hybrid", 16, 5)
+        assert isinstance(proto, GPHybridProtocol)
+        assert proto.det_rounds == 6

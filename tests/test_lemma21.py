@@ -1,0 +1,131 @@
+"""Tests for the executable Lemma 2.1 argument."""
+
+import pytest
+
+from repro.analysis.lemma21 import (
+    ControlCertificate,
+    IntersectionWitness,
+    blowup,
+    lemma21_certificate,
+    uncontrollable_set,
+)
+from repro.coinflip.game import HIDDEN
+from repro.coinflip.games import (
+    MajorityDefaultZeroGame,
+    MajorityGame,
+    ParityGame,
+)
+from repro.errors import ConfigurationError
+
+
+class TestUncontrollableSet:
+    def test_parity_u0_empty_at_one_hiding(self):
+        game = ParityGame(5)
+        assert uncontrollable_set(game, 0, t=1) == set()
+
+    def test_parity_u1_is_all_zeros_vector(self):
+        game = ParityGame(5)
+        assert uncontrollable_set(game, 1, t=1) == {(0,) * 5}
+
+    def test_majority_u0_shrinks_with_budget(self):
+        game = MajorityGame(7)
+        sizes = {
+            t: len(uncontrollable_set(game, 0, t=t))
+            for t in (0, 1, 3, 7)
+        }
+        # Forcing 0 from a vector with o ones needs o - z = 2o - 7
+        # hidings, so U^0 at budget t is {o : 2o - 7 > t}.
+        assert sizes[0] == 64  # o >= 4: C(7,4..7)
+        assert sizes[1] == 29  # o >= 5
+        assert sizes[3] == 8   # o >= 6
+        assert sizes[7] == 0
+
+    def test_large_n_rejected(self):
+        with pytest.raises(ConfigurationError):
+            uncontrollable_set(MajorityGame(20), 0, t=1)
+
+
+class TestBlowup:
+    def test_radius_zero_is_identity(self):
+        base = {(0, 0, 1), (1, 1, 1)}
+        assert blowup(3, base, 0) == base
+
+    def test_radius_one_adds_neighbours(self):
+        base = {(0, 0, 0)}
+        result = blowup(3, base, 1)
+        assert result == {
+            (0, 0, 0), (1, 0, 0), (0, 1, 0), (0, 0, 1),
+        }
+
+    def test_radius_n_covers_everything(self):
+        base = {(0, 0, 0)}
+        assert len(blowup(3, base, 3)) == 8
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ConfigurationError):
+            blowup(3, {(0, 0, 0)}, -1)
+
+
+class TestCertificate:
+    def test_control_branch_one_sided_game(self):
+        """majority-default-0 with a decent budget: U^0 is tiny, so
+        the lemma's conclusion (outcome 0 controllable) fires."""
+        game = MajorityDefaultZeroGame(9)
+        result = lemma21_certificate(game, t=9, radius=1)
+        assert isinstance(result, ControlCertificate)
+        assert result.outcome == 0
+        assert result.uncontrollable_mass < result.threshold
+
+    def test_witness_branch_at_tiny_budget(self):
+        """With t = 0 both U^v are huge; a modest radius intersects
+        the blow-ups and the proof's cascade is constructed."""
+        game = MajorityGame(7)
+        result = lemma21_certificate(game, t=0, radius=4)
+        assert isinstance(result, IntersectionWitness)
+        # y is within the radius of both uncontrollable sets.
+        for v, s in result.hiding_sets.items():
+            assert len(s) <= 4
+            # hiding s really lands in U^v: from the nearest point no
+            # 0-budget adversary reaches v, i.e. outcome(x^v) != v.
+            assert game.outcome(result.nearest[v]) != v
+        # The cascade accumulates hidings.
+        assert len(result.cascade) == game.k
+        hidden_coords = [
+            sum(1 for c in vec if c is HIDDEN) for vec in result.cascade
+        ]
+        assert hidden_coords == sorted(hidden_coords)
+
+    def test_witness_total_hidden_bounded_by_k_times_radius(self):
+        game = MajorityGame(7)
+        result = lemma21_certificate(game, t=0, radius=4)
+        assert isinstance(result, IntersectionWitness)
+        assert len(result.total_hidden()) <= game.k * 4
+
+    def test_contradiction_shape_on_final_cascade(self):
+        """The proof's punchline: the fully-hidden vector is within t
+        extra hidings of *every* U^v simultaneously — at an adequate
+        budget that is impossible, which is why some U^v must have
+        been small.  At t=0 (no extra hidings allowed on top) we can
+        at least check the final cascade element agrees with some x^v
+        on all visible coordinates for every v."""
+        game = MajorityGame(7)
+        result = lemma21_certificate(game, t=0, radius=4)
+        final = result.cascade[-1]
+        hidden = {i for i, c in enumerate(final) if c is HIDDEN}
+        for v, x in result.nearest.items():
+            if result.hiding_sets[v] <= hidden:
+                for i in range(game.n):
+                    if i not in hidden:
+                        assert final[i] == x[i]
+
+    def test_paper_scale_always_controls(self):
+        """At the paper's own parameter scale (t >= n here, since
+        4 sqrt(n log n) > n for small n) the control branch fires for
+        every implemented game."""
+        for game in (
+            MajorityGame(8),
+            MajorityDefaultZeroGame(8),
+            ParityGame(8),
+        ):
+            result = lemma21_certificate(game, t=8, radius=8)
+            assert isinstance(result, ControlCertificate)

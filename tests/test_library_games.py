@@ -1,0 +1,163 @@
+"""Tests for the extended game library (tribes / weighted / threshold)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coinflip.game import HIDDEN, hide
+from repro.coinflip.library_games import (
+    ThresholdGame,
+    TribesGame,
+    WeightedMajorityGame,
+)
+from repro.errors import ConfigurationError
+
+
+class TestTribesGame:
+    def test_construction_validation(self):
+        with pytest.raises(ConfigurationError):
+            TribesGame(6, tribe_size=0)
+        with pytest.raises(ConfigurationError):
+            TribesGame(6, tribe_size=7)
+
+    def test_tribe_partition(self):
+        game = TribesGame(7, tribe_size=3)
+        assert [list(t) for t in game.tribes()] == [
+            [0, 1, 2], [3, 4, 5], [6],
+        ]
+
+    def test_outcome_or_of_ands(self):
+        game = TribesGame(6, tribe_size=3)
+        assert game.outcome((1, 1, 1, 0, 0, 0)) == 1
+        assert game.outcome((1, 1, 0, 0, 1, 1)) == 0
+        assert game.outcome((0, 0, 0, 1, 1, 1)) == 1
+
+    def test_hidden_breaks_tribe(self):
+        game = TribesGame(6, tribe_size=3)
+        assert game.outcome((1, HIDDEN, 1, 0, 0, 0)) == 0
+
+    def test_force_zero_one_hiding_per_winning_tribe(self):
+        game = TribesGame(6, tribe_size=3)
+        values = (1, 1, 1, 1, 1, 1)  # both tribes win
+        s = game.force_set(values, 0, t=2)
+        assert s is not None and len(s) == 2
+        assert game.outcome(hide(values, s)) == 0
+
+    def test_force_zero_unaffordable(self):
+        game = TribesGame(6, tribe_size=3)
+        assert game.force_set((1,) * 6, 0, t=1) is None
+
+    def test_force_one_impossible_unless_already(self):
+        game = TribesGame(6, tribe_size=3)
+        assert game.force_set((1, 1, 0, 1, 0, 1), 1, t=6) is None
+        assert game.force_set((1, 1, 1, 0, 0, 0), 1, t=0) == set()
+
+    @given(
+        st.lists(st.integers(0, 1), min_size=6, max_size=12),
+        st.integers(min_value=0, max_value=4),
+    )
+    @settings(max_examples=100)
+    def test_oracle_witnesses_sound(self, bits, t):
+        game = TribesGame(len(bits), tribe_size=3)
+        for target in (0, 1):
+            s = game.force_set(tuple(bits), target, t)
+            if s is not None:
+                assert len(s) <= t
+                assert game.outcome(hide(tuple(bits), s)) == target
+
+
+class TestWeightedMajorityGame:
+    def test_construction_validation(self):
+        with pytest.raises(ConfigurationError):
+            WeightedMajorityGame([])
+        with pytest.raises(ConfigurationError):
+            WeightedMajorityGame([1.0, -2.0])
+
+    def test_uniform_weights_match_majority(self):
+        game = WeightedMajorityGame([1.0] * 5)
+        assert game.outcome((1, 1, 1, 0, 0)) == 1
+        assert game.outcome((1, 1, 0, 0, 0)) == 0
+
+    def test_heavy_player_dominates(self):
+        game = WeightedMajorityGame([10.0, 1.0, 1.0, 1.0])
+        assert game.outcome((1, 0, 0, 0)) == 1
+        assert game.outcome((0, 1, 1, 1)) == 0
+
+    def test_force_zero_hides_heaviest_one(self):
+        game = WeightedMajorityGame([10.0, 1.0, 1.0, 1.0])
+        s = game.force_set((1, 0, 0, 0), 0, t=1)
+        assert s == {0}
+
+    def test_force_one_hides_heaviest_zero(self):
+        game = WeightedMajorityGame([10.0, 1.0, 1.0, 1.0])
+        s = game.force_set((0, 1, 1, 1), 1, t=1)
+        assert s == {0}
+
+    def test_insufficient_budget(self):
+        game = WeightedMajorityGame([1.0] * 9)
+        assert game.force_set((1,) * 9, 0, t=3) is None
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.5, max_value=8.0),
+            min_size=3,
+            max_size=9,
+        ),
+        st.integers(min_value=0, max_value=2 ** 9 - 1),
+        st.integers(min_value=0, max_value=6),
+    )
+    @settings(max_examples=120)
+    def test_oracle_witnesses_sound(self, weights, packed, t):
+        game = WeightedMajorityGame(weights)
+        bits = tuple((packed >> i) & 1 for i in range(len(weights)))
+        for target in (0, 1):
+            s = game.force_set(bits, target, t)
+            if s is not None:
+                assert len(s) <= t
+                assert game.outcome(hide(bits, s)) == target
+
+
+class TestThresholdGame:
+    def test_construction_validation(self):
+        with pytest.raises(ConfigurationError):
+            ThresholdGame(4, threshold=0)
+        with pytest.raises(ConfigurationError):
+            ThresholdGame(4, threshold=5)
+
+    def test_outcome(self):
+        game = ThresholdGame(5, threshold=3)
+        assert game.outcome((1, 1, 1, 0, 0)) == 1
+        assert game.outcome((1, 1, 0, 0, 0)) == 0
+
+    def test_hidden_counts_as_absent(self):
+        game = ThresholdGame(5, threshold=3)
+        assert game.outcome((1, 1, HIDDEN, 1, 0)) == 1
+        assert game.outcome((1, 1, HIDDEN, HIDDEN, 0)) == 0
+
+    def test_force_zero(self):
+        game = ThresholdGame(5, threshold=3)
+        s = game.force_set((1, 1, 1, 1, 0), 0, t=2)
+        assert s is not None and len(s) == 2
+        assert game.outcome(hide((1, 1, 1, 1, 0), s)) == 0
+
+    def test_force_one_only_if_already(self):
+        game = ThresholdGame(5, threshold=3)
+        assert game.force_set((1, 1, 0, 0, 0), 1, t=5) is None
+        assert game.force_set((1, 1, 1, 0, 0), 1, t=0) == set()
+
+    @given(
+        st.lists(st.integers(0, 1), min_size=4, max_size=10),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=0, max_value=5),
+    )
+    @settings(max_examples=120)
+    def test_oracle_witnesses_sound(self, bits, threshold, t):
+        if threshold > len(bits):
+            return
+        game = ThresholdGame(len(bits), threshold=threshold)
+        for target in (0, 1):
+            s = game.force_set(tuple(bits), target, t)
+            if s is not None:
+                assert len(s) <= t
+                assert game.outcome(hide(tuple(bits), s)) == target

@@ -1,0 +1,114 @@
+"""Tests for the exact-play lower-bound adversary."""
+
+import pytest
+
+from repro.adversary import (
+    BenignAdversary,
+    ExactValencyAdversary,
+    TallyAttackAdversary,
+)
+from repro.errors import ConfigurationError
+from repro.protocols import FloodSetProtocol, SynRanProtocol
+from repro.sim.checks import verify_execution
+from repro.sim.engine import Engine
+
+
+class TestConstruction:
+    def test_decide1_requires_target(self):
+        with pytest.raises(ConfigurationError):
+            ExactValencyAdversary(
+                1, SynRanProtocol(), 3, objective="decide1"
+            )
+
+    def test_rounds_rejects_target(self):
+        with pytest.raises(ConfigurationError):
+            ExactValencyAdversary(
+                1, SynRanProtocol(), 3, objective="rounds", target=1
+            )
+
+    def test_n_mismatch_rejected_at_reset(self):
+        adv = ExactValencyAdversary(1, SynRanProtocol(), 3)
+        engine = Engine(SynRanProtocol(), adv, 4, seed=0)
+        with pytest.raises(ConfigurationError):
+            engine.run([0, 1, 1, 0])
+
+
+class TestForcingStrategies:
+    def test_force_one_on_floodset(self):
+        """From inputs (0,1,1) with one crash, the max-adversary
+        silences the 0-holder and FloodSet decides 1, always."""
+        proto = FloodSetProtocol.for_resilience(1)
+        adv = ExactValencyAdversary(
+            1, proto, 3, objective="decide1", target=1, horizon=10
+        )
+        for seed in range(5):
+            engine = Engine(
+                FloodSetProtocol.for_resilience(1), adv, 3, seed=seed
+            )
+            result = engine.run([0, 1, 1])
+            assert verify_execution(result).decision == 1
+
+    def test_force_zero_on_floodset_is_free(self):
+        proto = FloodSetProtocol.for_resilience(1)
+        adv = ExactValencyAdversary(
+            1, proto, 3, objective="decide1", target=0, horizon=10
+        )
+        engine = Engine(
+            FloodSetProtocol.for_resilience(1), adv, 3, seed=0
+        )
+        result = engine.run([0, 1, 1])
+        assert verify_execution(result).decision == 0
+
+    def test_force_on_synran(self):
+        """On SynRan n=3, inputs (0,1,1) are bivalent with budget 2, so
+        each forcing adversary achieves its target with certainty
+        (E4 computed min=0, max=1)."""
+        for target in (0, 1):
+            adv = ExactValencyAdversary(
+                2,
+                SynRanProtocol(),
+                3,
+                objective="decide1",
+                target=target,
+                horizon=40,
+            )
+            engine = Engine(SynRanProtocol(), adv, 3, seed=target)
+            result = engine.run([0, 1, 1])
+            assert verify_execution(result).decision == target
+
+
+class TestStalling:
+    def test_stalls_at_least_as_long_as_benign(self):
+        proto = SynRanProtocol()
+        benign = Engine(proto, BenignAdversary(), 3, seed=1).run([0, 1, 1])
+        adv = ExactValencyAdversary(2, SynRanProtocol(), 3, horizon=40)
+        stalled = Engine(SynRanProtocol(), adv, 3, seed=1).run([0, 1, 1])
+        assert stalled.decision_round >= benign.decision_round
+        assert verify_execution(stalled).ok
+
+    def test_optimal_stall_at_least_heuristic(self):
+        """The exact staller must do at least as well as the tally
+        heuristic in expectation on the same tiny instance."""
+        n, budget = 3, 2
+        inputs = [0, 1, 1]
+
+        def mean_rounds(make_adv, seeds=range(12)):
+            total = 0
+            for seed in seeds:
+                result = Engine(
+                    SynRanProtocol(),
+                    make_adv(),
+                    n,
+                    seed=seed,
+                    strict_termination=False,
+                ).run(inputs)
+                total += result.decision_round
+            return total / 12
+
+        exact = mean_rounds(
+            lambda: ExactValencyAdversary(
+                budget, SynRanProtocol(), n, horizon=40
+            )
+        )
+        heuristic = mean_rounds(lambda: TallyAttackAdversary(budget))
+        assert exact >= heuristic - 1e-9

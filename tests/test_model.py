@@ -1,0 +1,142 @@
+"""Unit tests for the simulator data model (repro.sim.model)."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.model import (
+    FailureDecision,
+    ProcessCore,
+    RoundView,
+    Verdict,
+    validate_failure_decision,
+)
+
+
+def make_core(pid=0, n=4, input_bit=1):
+    return ProcessCore(
+        pid=pid, n=n, input_bit=input_bit, rng=random.Random(0)
+    )
+
+
+class TestProcessCore:
+    def test_initial_flags(self):
+        core = make_core()
+        assert not core.decided
+        assert core.decision is None
+        assert not core.halted
+
+    def test_decide_sets_value(self):
+        core = make_core()
+        core.decide(1)
+        assert core.decided
+        assert core.decision == 1
+
+    def test_decide_is_idempotent(self):
+        core = make_core()
+        core.decide(0)
+        core.decide(0)
+        assert core.decision == 0
+
+    def test_decide_cannot_change_value(self):
+        core = make_core()
+        core.decide(1)
+        with pytest.raises(ConfigurationError):
+            core.decide(0)
+
+    def test_halt(self):
+        core = make_core()
+        core.halt()
+        assert core.halted
+
+
+class TestFailureDecisionConstructors:
+    def test_none_has_no_victims(self):
+        decision = FailureDecision.none()
+        assert decision.victims == frozenset()
+        assert decision.count() == 0
+
+    def test_silence(self):
+        decision = FailureDecision.silence([1, 3])
+        assert decision.victims == {1, 3}
+        assert not decision.receives_from(1, 0)
+        assert not decision.receives_from(3, 2)
+
+    def test_after_sending(self):
+        decision = FailureDecision.after_sending([2], recipients=[0, 1, 3])
+        assert decision.victims == {2}
+        assert decision.receives_from(2, 0)
+        assert decision.receives_from(2, 3)
+
+    def test_partial(self):
+        decision = FailureDecision.partial({5: [0, 1]})
+        assert decision.receives_from(5, 0)
+        assert decision.receives_from(5, 1)
+        assert not decision.receives_from(5, 2)
+
+    def test_receives_from_non_victim_is_false(self):
+        decision = FailureDecision.silence([1])
+        # receives_from answers "does the *victim's* message arrive";
+        # non-victims are not in the mapping.
+        assert not decision.receives_from(2, 0)
+
+    def test_count(self):
+        assert FailureDecision.silence(range(5)).count() == 5
+
+
+def make_view(alive, n=6, round_index=0, budget=3):
+    states = {pid: make_core(pid=pid, n=n) for pid in range(n)}
+    payloads = {pid: ("BIT", 1) for pid in alive}
+    return RoundView(
+        round_index=round_index,
+        n=n,
+        alive=frozenset(alive),
+        states=states,
+        payloads=payloads,
+        budget_remaining=budget,
+        inputs=tuple([1] * n),
+    )
+
+
+class TestRoundView:
+    def test_alive_count(self):
+        view = make_view([0, 2, 4])
+        assert view.alive_count() == 3
+
+    def test_is_frozen(self):
+        view = make_view([0, 1])
+        with pytest.raises(Exception):
+            view.round_index = 3
+
+
+class TestValidateFailureDecision:
+    def test_valid_decision_passes(self):
+        view = make_view([0, 1, 2])
+        validate_failure_decision(
+            FailureDecision.partial({1: [0, 2]}), view
+        )
+
+    def test_crashing_dead_process_rejected(self):
+        view = make_view([0, 1])
+        with pytest.raises(ConfigurationError):
+            validate_failure_decision(FailureDecision.silence([5]), view)
+
+    def test_unknown_recipient_rejected(self):
+        view = make_view([0, 1, 2], n=3)
+        with pytest.raises(ConfigurationError):
+            validate_failure_decision(
+                FailureDecision.partial({1: [7]}), view
+            )
+
+    def test_empty_decision_passes(self):
+        view = make_view([0])
+        validate_failure_decision(FailureDecision.none(), view)
+
+
+class TestVerdict:
+    def test_ok_requires_all_three(self):
+        assert Verdict(True, True, True, 1).ok
+        assert not Verdict(False, True, True, None).ok
+        assert not Verdict(True, False, True, 0).ok
+        assert not Verdict(True, True, False, 0).ok

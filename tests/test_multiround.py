@@ -1,0 +1,144 @@
+"""Tests for multi-round coin flipping (repro.coinflip.multiround)."""
+
+import math
+import random
+
+import pytest
+
+from repro.coinflip.multiround import (
+    GreedyBiasAdversary,
+    MultiRoundCoinGame,
+    PassiveMultiAdversary,
+    bias_probability,
+    majority_outcome,
+)
+from repro.errors import ConfigurationError
+
+
+class TestMajorityOutcome:
+    def test_majority_one(self):
+        assert majority_outcome([1, 1, 0]) == 1
+
+    def test_tie_is_zero(self):
+        assert majority_outcome([1, 0]) == 0
+
+    def test_empty_is_zero(self):
+        assert majority_outcome([]) == 0
+
+
+class TestGameMechanics:
+    def test_construction_validation(self):
+        with pytest.raises(ConfigurationError):
+            MultiRoundCoinGame(0, 3)
+        with pytest.raises(ConfigurationError):
+            MultiRoundCoinGame(4, 0)
+
+    def test_passive_game_is_fair(self):
+        game = MultiRoundCoinGame(51, 5)
+        p = bias_probability(
+            game,
+            PassiveMultiAdversary,
+            1,
+            trials=600,
+            rng=random.Random(0),
+        )
+        assert 0.4 < p < 0.6
+
+    def test_transcript_shape(self):
+        game = MultiRoundCoinGame(8, 4)
+        result = game.play(PassiveMultiAdversary(), random.Random(1))
+        assert len(result.round_outcomes) == 4
+        assert len(result.halts_per_round) == 4
+        assert result.survivors == 8
+        assert result.total_halts() == 0
+        assert result.outcome in (0, 1)
+
+    def test_halted_players_stay_out(self):
+        class HaltFirst(GreedyBiasAdversary):
+            def on_round(self, round_index, coins):
+                if round_index == 0:
+                    ids = [pid for pid, _ in coins[:3]]
+                    self.spend(3)
+                    return set(ids)
+                seen = {pid for pid, _ in coins}
+                assert seen.isdisjoint({0, 1, 2})
+                return set()
+
+        game = MultiRoundCoinGame(9, 3)
+        result = game.play(HaltFirst(5, target=1), random.Random(2))
+        assert result.survivors == 6
+
+    def test_halting_unknown_player_rejected(self):
+        class Cheater(PassiveMultiAdversary):
+            def on_round(self, round_index, coins):
+                return {999}
+
+        game = MultiRoundCoinGame(4, 2)
+        with pytest.raises(ConfigurationError):
+            game.play(Cheater(), random.Random(0))
+
+    def test_overspending_rejected(self):
+        adv = GreedyBiasAdversary(1, target=0)
+        with pytest.raises(ConfigurationError):
+            adv.spend(2)
+
+
+class TestGreedyBias:
+    def test_aspnes_scale_budget_biases_whp(self):
+        """The §1.2 conclusion: a budget of order sqrt(n) * rounds
+        (<= sqrt(n) log n for R = O(log n) rounds) biases the
+        iterated-majority game almost surely."""
+        n = 225
+        rounds = 7  # ~ log2(n) / 2
+        budget = int(math.sqrt(n) * rounds)
+        game = MultiRoundCoinGame(n, rounds)
+        p = bias_probability(
+            game,
+            lambda: GreedyBiasAdversary(budget, target=0),
+            0,
+            trials=300,
+            rng=random.Random(3),
+        )
+        assert p > 0.95
+
+    def test_tiny_budget_barely_helps(self):
+        n = 225
+        game = MultiRoundCoinGame(n, 7)
+        p = bias_probability(
+            game,
+            lambda: GreedyBiasAdversary(1, target=1),
+            1,
+            trials=300,
+            rng=random.Random(4),
+        )
+        assert p < 0.75
+
+    def test_bias_works_both_directions(self):
+        n = 121
+        game = MultiRoundCoinGame(n, 5)
+        budget = 6 * int(math.sqrt(n))
+        for target in (0, 1):
+            p = bias_probability(
+                game,
+                lambda target=target: GreedyBiasAdversary(budget, target),
+                target,
+                trials=200,
+                rng=random.Random(5),
+            )
+            assert p > 0.9, f"target {target}: {p}"
+
+    def test_budget_is_respected(self):
+        n, rounds, budget = 101, 9, 25
+        game = MultiRoundCoinGame(n, rounds)
+        for seed in range(10):
+            adv = GreedyBiasAdversary(budget, target=1)
+            result = game.play(adv, random.Random(seed))
+            assert result.total_halts() <= budget
+
+    def test_target_validation(self):
+        with pytest.raises(ConfigurationError):
+            GreedyBiasAdversary(5, target=2)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GreedyBiasAdversary(-1, target=1)

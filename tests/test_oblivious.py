@@ -1,0 +1,174 @@
+"""Tests for the non-adaptive (oblivious) adversary class."""
+
+import random
+
+import pytest
+
+from repro.adversary.oblivious import (
+    ObliviousAdversary,
+    burst_schedule,
+    calibrated_drip_schedule,
+    drip_schedule,
+    uniform_schedule,
+)
+from repro.errors import ConfigurationError
+from repro.protocols import SynRanProtocol
+from repro.sim.checks import verify_execution
+from repro.sim.engine import Engine
+
+
+class TestScheduleGenerators:
+    def test_uniform_respects_budget(self):
+        rng = random.Random(0)
+        for _ in range(20):
+            schedule = uniform_schedule(16, 5, rng)
+            total = sum(len(p) for p in schedule.values())
+            assert total <= 5
+
+    def test_burst_is_one_round(self):
+        schedule = burst_schedule(16, 6, random.Random(1))
+        assert len(schedule) == 1
+        (plan,) = schedule.values()
+        assert len(plan) == 6
+
+    def test_burst_fixed_round(self):
+        schedule = burst_schedule(
+            16, 3, random.Random(1), round_index=4
+        )
+        assert list(schedule) == [4]
+
+    def test_drip_spreads_per_round(self):
+        schedule = drip_schedule(16, 6, random.Random(2), per_round=2)
+        assert sorted(schedule) == [0, 1, 2]
+        assert all(len(p) == 2 for p in schedule.values())
+
+    def test_drip_validates_per_round(self):
+        with pytest.raises(ConfigurationError):
+            drip_schedule(8, 4, random.Random(0), per_round=0)
+
+    def test_budget_larger_than_n_is_clamped(self):
+        schedule = uniform_schedule(4, 10, random.Random(3))
+        victims = set()
+        for plan in schedule.values():
+            victims |= set(plan)
+        assert len(victims) <= 4
+
+
+class TestObliviousAdversary:
+    def test_schedule_committed_at_reset(self):
+        calls = []
+
+        def generator(n, t, rng):
+            calls.append((n, t))
+            return {0: {0: frozenset()}}
+
+        adv = ObliviousAdversary(1, generator)
+        engine = Engine(SynRanProtocol(), adv, 4, seed=0)
+        engine.run([1, 1, 0, 0])
+        assert calls == [(4, 1)]
+
+    def test_overbudget_schedule_rejected(self):
+        adv = ObliviousAdversary(
+            1, lambda n, t, rng: {0: {0: frozenset(), 1: frozenset()}}
+        )
+        engine = Engine(SynRanProtocol(), adv, 4, seed=0)
+        with pytest.raises(ConfigurationError):
+            engine.run([1, 1, 0, 0])
+
+    def test_consensus_under_every_family(self):
+        n = 16
+        families = [
+            lambda: ObliviousAdversary(n // 2, uniform_schedule),
+            lambda: ObliviousAdversary(n // 2, burst_schedule),
+            lambda: ObliviousAdversary(n // 2, drip_schedule),
+        ]
+        for factory in families:
+            for seed in range(6):
+                engine = Engine(SynRanProtocol(), factory(), n, seed=seed)
+                result = engine.run([i % 2 for i in range(n)])
+                assert verify_execution(result).ok
+
+    def test_same_seed_same_schedule(self):
+        def run():
+            adv = ObliviousAdversary(4, uniform_schedule)
+            engine = Engine(SynRanProtocol(), adv, 12, seed=77)
+            return engine.run([i % 2 for i in range(12)])
+
+        a, b = run(), run()
+        assert a.crashed == b.crashed
+        assert [r.victims for r in a.trace] == [
+            r.victims for r in b.trace
+        ]
+
+    def test_calibrated_schedule_respects_budget_and_threshold(self):
+        import math
+
+        from repro._math import deterministic_stage_threshold
+
+        n, t = 128, 100
+        schedule = calibrated_drip_schedule(n, t, random.Random(0))
+        total = sum(len(p) for p in schedule.values())
+        assert total <= t
+        # The precomputed population never drops below the
+        # deterministic-stage threshold through scheduled kills alone.
+        remaining = n - total
+        assert remaining >= math.floor(
+            deterministic_stage_threshold(n)
+        ) - 1
+
+    def test_calibrated_schedule_validation(self):
+        with pytest.raises(ConfigurationError):
+            calibrated_drip_schedule(
+                16, 8, random.Random(0), stop_fraction=0.0
+            )
+        with pytest.raises(ConfigurationError):
+            calibrated_drip_schedule(
+                16, 8, random.Random(0), start_round=-1
+            )
+
+    def test_calibrated_recovers_bleed_stall(self):
+        """The E11 finding at unit scale: the calibrated oblivious
+        drip stalls within a few rounds of the adaptive attack."""
+        from repro.adversary import TallyAttackAdversary
+
+        n = 64
+        inputs = [1] * 36 + [0] * 28
+        adaptive = Engine(
+            SynRanProtocol(),
+            TallyAttackAdversary(n),
+            n,
+            seed=0,
+            strict_termination=False,
+        ).run(inputs)
+        rounds = []
+        for seed in range(5):
+            adv = ObliviousAdversary(n, calibrated_drip_schedule)
+            result = Engine(
+                SynRanProtocol(), adv, n, seed=seed,
+                strict_termination=False,
+            ).run(inputs)
+            assert verify_execution(result).ok
+            rounds.append(result.decision_round)
+        assert min(rounds) > 0.7 * adaptive.decision_round
+
+    def test_oblivious_is_weaker_than_adaptive(self):
+        """The E11 headline at unit-test scale."""
+        from repro.adversary import TallyAttackAdversary
+
+        n, t = 64, 32
+        inputs = [1] * 36 + [0] * 28
+        oblivious_rounds = []
+        for seed in range(8):
+            adv = ObliviousAdversary(t, uniform_schedule)
+            result = Engine(SynRanProtocol(), adv, n, seed=seed).run(
+                inputs
+            )
+            oblivious_rounds.append(result.decision_round)
+        adaptive = Engine(
+            SynRanProtocol(),
+            TallyAttackAdversary(t),
+            n,
+            seed=0,
+            strict_termination=False,
+        ).run(inputs)
+        assert adaptive.decision_round > max(oblivious_rounds)

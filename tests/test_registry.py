@@ -1,0 +1,71 @@
+"""Tests for the protocol registry."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.protocols import (
+    BenOrProtocol,
+    FloodSetProtocol,
+    SymmetricRanProtocol,
+    SynRanProtocol,
+    available_protocols,
+    make_protocol,
+)
+from repro.protocols.registry import register_protocol
+
+
+class TestMakeProtocol:
+    def test_synran(self):
+        assert isinstance(make_protocol("synran", 16, 16), SynRanProtocol)
+
+    def test_synran_nodet(self):
+        proto = make_protocol("synran-nodet", 16, 16)
+        assert isinstance(proto, SynRanProtocol)
+        assert not proto.det_handoff
+
+    def test_symmetric(self):
+        assert isinstance(
+            make_protocol("symmetric-ran", 16, 16), SymmetricRanProtocol
+        )
+
+    def test_benor_gets_t(self):
+        proto = make_protocol("benor", 16, 5)
+        assert isinstance(proto, BenOrProtocol)
+        assert proto.t == 5
+
+    def test_floodset_gets_rounds(self):
+        proto = make_protocol("floodset", 16, 5)
+        assert isinstance(proto, FloodSetProtocol)
+        assert proto.rounds == 6
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            make_protocol("paxos", 16, 5)
+
+    def test_majority_requirement_enforced(self):
+        with pytest.raises(ConfigurationError):
+            make_protocol("benor", 16, 8)
+
+    def test_available_protocols_sorted(self):
+        names = available_protocols()
+        assert names == sorted(names)
+        assert "synran" in names
+
+
+class TestRegisterProtocol:
+    def test_register_and_build(self):
+        register_protocol(
+            "floodset-double",
+            lambda n, t: FloodSetProtocol(rounds=2 * (t + 1)),
+        )
+        try:
+            proto = make_protocol("floodset-double", 8, 3)
+            assert proto.rounds == 8
+        finally:
+            from repro.protocols import registry
+
+            registry._FACTORIES.pop("floodset-double", None)
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_protocol("synran", lambda n, t: SynRanProtocol())

@@ -1,0 +1,108 @@
+"""Tests for the Monte-Carlo statistics helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.stats import Summary, fit_ratio, summarize, wilson_interval
+from repro.errors import ConfigurationError
+
+
+class TestSummarize:
+    def test_basic_summary(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.count == 3
+        assert s.mean == pytest.approx(2.0)
+        assert s.std == pytest.approx(1.0)
+        assert s.minimum == 1.0
+        assert s.maximum == 3.0
+
+    def test_singleton(self):
+        s = summarize([5.0])
+        assert s.std == 0.0
+        assert s.ci95_half_width == 0.0
+
+    def test_ci_formula(self):
+        s = summarize([0.0, 2.0, 4.0, 6.0])
+        assert s.ci95_half_width == pytest.approx(
+            1.96 * s.std / math.sqrt(4)
+        )
+
+    def test_ci95_tuple(self):
+        s = summarize([1.0, 3.0])
+        lo, hi = s.ci95
+        assert lo == pytest.approx(s.mean - s.ci95_half_width)
+        assert hi == pytest.approx(s.mean + s.ci95_half_width)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize([])
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50))
+    @settings(max_examples=60)
+    def test_mean_within_range(self, xs):
+        s = summarize(xs)
+        assert s.minimum - 1e-6 <= s.mean <= s.maximum + 1e-6
+
+
+class TestWilsonInterval:
+    def test_contains_proportion(self):
+        lo, hi = wilson_interval(30, 100)
+        assert lo < 0.3 < hi
+
+    def test_extreme_success(self):
+        lo, hi = wilson_interval(100, 100)
+        assert hi == pytest.approx(1.0)
+        assert lo > 0.9
+
+    def test_extreme_failure(self):
+        lo, hi = wilson_interval(0, 100)
+        assert lo == 0.0
+        assert hi < 0.1
+
+    def test_narrower_with_more_trials(self):
+        w1 = wilson_interval(5, 10)
+        w2 = wilson_interval(500, 1000)
+        assert (w2[1] - w2[0]) < (w1[1] - w1[0])
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ConfigurationError):
+            wilson_interval(5, 0)
+        with pytest.raises(ConfigurationError):
+            wilson_interval(11, 10)
+
+    @given(
+        st.integers(min_value=0, max_value=200),
+        st.integers(min_value=1, max_value=200),
+    )
+    @settings(max_examples=80)
+    def test_bounds_ordered_and_clamped(self, successes, trials):
+        if successes > trials:
+            return
+        lo, hi = wilson_interval(successes, trials)
+        assert 0.0 <= lo <= hi <= 1.0
+
+
+class TestFitRatio:
+    def test_exact_multiple(self):
+        c, rmse = fit_ratio([2.0, 4.0, 6.0], [1.0, 2.0, 3.0])
+        assert c == pytest.approx(2.0)
+        assert rmse == pytest.approx(0.0)
+
+    def test_noisy_fit_has_dispersion(self):
+        c, rmse = fit_ratio([2.2, 3.6, 6.3], [1.0, 2.0, 3.0])
+        assert 1.5 < c < 2.5
+        assert 0.0 < rmse < 0.3
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ConfigurationError):
+            fit_ratio([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fit_ratio([], [])
+
+    def test_zero_predictor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fit_ratio([1.0, 2.0], [0.0, 0.0])

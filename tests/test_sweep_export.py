@@ -1,0 +1,136 @@
+"""Tests for the sweep driver and the CSV/JSON exporters."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness.export import (
+    sweep_to_csv,
+    sweep_to_json,
+    table_to_csv,
+    table_to_json,
+    write_text,
+)
+from repro.harness.report import Table
+from repro.harness.sweep import Sweep, SweepResult, run_sweep
+
+
+def small_sweep(**overrides):
+    spec = dict(
+        protocols=("synran",),
+        adversaries=("benign", "random"),
+        ns=(6, 10),
+        t_of=lambda n: n // 2,
+        trials=2,
+        base_seed=1,
+    )
+    spec.update(overrides)
+    return Sweep(**spec)
+
+
+class TestSweep:
+    def test_cells_cover_grid(self):
+        sweep = small_sweep()
+        cells = sweep.cells()
+        assert len(cells) == 1 * 2 * 2
+        assert ("synran", "random", 10) in cells
+
+    def test_run_produces_one_result_per_cell(self):
+        results = run_sweep(small_sweep())
+        assert len(results) == 4
+        for r in results:
+            assert r.t == r.n // 2
+            assert r.mean_rounds > 0
+            assert r.violations == 0
+
+    def test_results_are_deterministic(self):
+        a = run_sweep(small_sweep())
+        b = run_sweep(small_sweep())
+        assert [r.mean_rounds for r in a] == [r.mean_rounds for r in b]
+
+    def test_attack_cell_is_slower_than_benign(self):
+        sweep = small_sweep(
+            protocols=("synran",),
+            adversaries=("benign", "tally-attack"),
+            ns=(32,),
+            t_of=lambda n: n,
+            trials=3,
+        )
+        benign, attacked = run_sweep(sweep)
+        assert attacked.mean_rounds > benign.mean_rounds
+
+    def test_bad_t_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_sweep(small_sweep(t_of=lambda n: n + 1))
+
+    def test_bad_trials_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_sweep(small_sweep(trials=0))
+
+    def test_normalised_rounds_clamps_shape(self):
+        r = SweepResult(
+            protocol="synran",
+            adversary="benign",
+            n=8,
+            t=1,
+            mean_rounds=3.0,
+            std_rounds=0.0,
+            mean_crashes=0.0,
+            timeouts=0,
+            violations=0,
+            theta_shape=0.2,
+        )
+        assert r.normalised_rounds() == pytest.approx(3.0)
+
+
+class TestTableExport:
+    def make_table(self):
+        table = Table(title="demo", columns=["n", "p"])
+        table.add_row(8, 0.5)
+        table.add_row(16, 0.25)
+        table.add_note("a note")
+        return table
+
+    def test_csv_roundtrip(self):
+        text = table_to_csv(self.make_table())
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["n", "p"]
+        assert rows[1] == ["8", "0.5"]
+        assert len(rows) == 3
+
+    def test_json_structure(self):
+        doc = json.loads(table_to_json(self.make_table()))
+        assert doc["title"] == "demo"
+        assert doc["rows"][1] == {"n": 16, "p": 0.25}
+        assert doc["notes"] == ["a note"]
+
+
+class TestSweepExport:
+    def test_csv_and_json(self):
+        results = run_sweep(small_sweep(ns=(6,)))
+        text = sweep_to_csv(results)
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0][0] == "protocol"
+        assert rows[0][-1] == "normalised_rounds"
+        assert len(rows) == len(results) + 1
+
+        doc = json.loads(sweep_to_json(results))
+        assert len(doc) == len(results)
+        assert doc[0]["protocol"] == "synran"
+        assert "normalised_rounds" in doc[0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep_to_csv([])
+        with pytest.raises(ConfigurationError):
+            sweep_to_json([])
+
+
+class TestWriteText:
+    def test_creates_parents(self, tmp_path):
+        target = tmp_path / "a" / "b" / "out.csv"
+        write_text(target, "x,y\n")
+        assert target.read_text() == "x,y\n"

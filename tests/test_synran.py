@@ -1,0 +1,319 @@
+"""Tests for the paper's SynRan protocol (repro.protocols.synran)."""
+
+import math
+import random
+
+import pytest
+
+from repro._math import deterministic_stage_threshold
+from repro.adversary import (
+    BenignAdversary,
+    RandomCrashAdversary,
+    StaticAdversary,
+    TallyAttackAdversary,
+)
+from repro.errors import ConfigurationError, ProtocolViolationError
+from repro.protocols import SynRanProtocol
+from repro.protocols.synran import Stage, SynRanState
+from repro.sim.checks import verify_execution
+from repro.sim.engine import Engine
+
+
+def make_state(proto, pid=0, n=20, input_bit=1, seed=0):
+    return proto.initial_state(pid, n, input_bit, random.Random(seed))
+
+
+def bit_inbox(ones, zeros, start_pid=0):
+    """An inbox with the given number of 1- and 0-bit messages."""
+    inbox = {}
+    pid = start_pid
+    for _ in range(ones):
+        inbox[pid] = ("BIT", 1)
+        pid += 1
+    for _ in range(zeros):
+        inbox[pid] = ("BIT", 0)
+        pid += 1
+    return inbox
+
+
+class TestConstruction:
+    def test_rejects_disordered_thresholds(self):
+        with pytest.raises(ConfigurationError):
+            SynRanProtocol(decide_hi=0.4, propose_hi=0.6)
+
+    def test_rejects_bad_stop_fraction(self):
+        with pytest.raises(ConfigurationError):
+            SynRanProtocol(stop_fraction=0.0)
+
+    def test_rejects_negative_det_extra_rounds(self):
+        with pytest.raises(ConfigurationError):
+            SynRanProtocol(det_extra_rounds=-1)
+
+    def test_rejects_non_bit_input(self):
+        proto = SynRanProtocol()
+        with pytest.raises(ConfigurationError):
+            proto.initial_state(0, 4, 2, random.Random(0))
+
+    def test_paper_defaults(self):
+        proto = SynRanProtocol()
+        assert proto.decide_hi == 0.7
+        assert proto.propose_hi == 0.6
+        assert proto.propose_lo == 0.5
+        assert proto.decide_lo == 0.4
+        assert proto.stop_fraction == 0.1
+        assert proto.one_side_bias
+
+
+class TestSendPayloads:
+    def test_probabilistic_sends_bit(self):
+        proto = SynRanProtocol()
+        state = make_state(proto, input_bit=1)
+        assert proto.send(state, 0) == ("BIT", 1)
+
+    def test_sync_sends_bit(self):
+        proto = SynRanProtocol()
+        state = make_state(proto, input_bit=0)
+        state.stage = Stage.SYNC
+        assert proto.send(state, 5) == ("BIT", 0)
+
+    def test_deterministic_sends_flood_set(self):
+        proto = SynRanProtocol()
+        state = make_state(proto)
+        state.stage = Stage.DETERMINISTIC
+        state.det_known = {0, 1}
+        assert proto.send(state, 9) == ("DET", frozenset({0, 1}))
+
+
+class TestThresholdCascade:
+    """The paper's update rules, driven by crafted inboxes at n=20 so
+    the prev count is N^{-1} = 20 and bands are (14,20] / (12,14] /
+    {Z=0} / [0,8) / [8,10) / coin."""
+
+    def setup_method(self):
+        self.proto = SynRanProtocol()
+
+    def run_round0(self, ones, zeros, input_bit=1):
+        state = make_state(self.proto, n=20, input_bit=input_bit)
+        self.proto.receive(state, 0, bit_inbox(ones, zeros))
+        return state
+
+    def test_decide_one_band(self):
+        state = self.run_round0(15, 5)
+        assert state.b == 1 and state.tentative_decided
+
+    def test_propose_one_band(self):
+        state = self.run_round0(13, 7)
+        assert state.b == 1 and not state.tentative_decided
+
+    def test_one_side_bias_no_zeros(self):
+        # Few messages, all ones: below every band but Z == 0 => b = 1.
+        state = self.run_round0(11, 0)
+        assert state.b == 1 and not state.tentative_decided
+
+    def test_decide_zero_band(self):
+        state = self.run_round0(7, 13)
+        assert state.b == 0 and state.tentative_decided
+
+    def test_propose_zero_band(self):
+        state = self.run_round0(9, 11)
+        assert state.b == 0 and not state.tentative_decided
+
+    def test_coin_band_flips(self):
+        # ones = 11 is in (10, 12] with zeros present: a genuine coin.
+        seen = set()
+        for seed in range(40):
+            state = make_state(self.proto, n=20, seed=seed)
+            self.proto.receive(state, 0, bit_inbox(11, 9))
+            assert not state.tentative_decided
+            seen.add(state.b)
+        assert seen == {0, 1}
+
+    def test_threshold_uses_previous_round_count(self):
+        # Round 0 shrinks N to 12; round 1 thresholds use prev = 12,
+        # so 8 ones (> 0.6*12) proposes 1 even though 8 < 0.6*20.
+        state = make_state(self.proto, n=20)
+        self.proto.receive(state, 0, bit_inbox(7, 5))  # N=12, propose 0
+        assert state.b == 0
+        self.proto.receive(state, 1, bit_inbox(8, 4))
+        assert state.b == 1
+
+    def test_n_history_recorded(self):
+        state = self.run_round0(13, 7)
+        assert state.n_hist[0] == 20
+        assert state.received_count(-1) == 20
+        assert state.received_count(0) == 20
+
+    def test_received_count_missing_round_raises(self):
+        state = self.run_round0(13, 7)
+        with pytest.raises(ProtocolViolationError):
+            state.received_count(3)
+
+    def test_det_message_in_probabilistic_stage_raises(self):
+        state = make_state(self.proto, n=20)
+        with pytest.raises(ProtocolViolationError):
+            self.proto.receive(
+                state, 0, {0: ("DET", frozenset({1}))}
+            )
+
+
+class TestStopRule:
+    def setup_method(self):
+        self.proto = SynRanProtocol()
+
+    def test_stable_population_stops(self):
+        state = make_state(self.proto, n=20)
+        self.proto.receive(state, 0, bit_inbox(16, 4))  # decide-1 band
+        assert state.tentative_decided
+        self.proto.receive(state, 1, bit_inbox(20, 0))
+        assert state.decided and state.halted and state.decision == 1
+
+    def test_unstable_population_resets(self):
+        state = make_state(self.proto, n=20)
+        self.proto.receive(state, 0, bit_inbox(16, 4))
+        assert state.tentative_decided
+        # N drops from 20 (round -3..-1 convention) to 12: diff 8 > 2.
+        self.proto.receive(state, 1, bit_inbox(12, 0))
+        assert not state.decided
+        # The cascade still ran this round (Z == 0 => b stays 1).
+        assert state.b == 1
+
+    def test_det_entry_checked_before_stop(self):
+        # Lemma 4.3 relies on the det-threshold check preceding STOP.
+        n = 100
+        proto = SynRanProtocol()
+        state = make_state(proto, n=n)
+        proto.receive(state, 0, bit_inbox(80, 20))  # decide 1
+        assert state.tentative_decided
+        few = int(deterministic_stage_threshold(n)) - 1
+        proto.receive(state, 1, bit_inbox(few, 0))
+        assert state.stage == Stage.SYNC
+        assert not state.decided
+
+
+class TestDeterministicStage:
+    def test_sync_ignores_inbox_and_freezes_b(self):
+        proto = SynRanProtocol()
+        state = make_state(proto, n=20, input_bit=1)
+        state.stage = Stage.SYNC
+        state.b = 1
+        proto.receive(state, 3, bit_inbox(0, 5))
+        assert state.stage == Stage.DETERMINISTIC
+        assert state.b == 1
+        assert state.det_known == {1}
+
+    def test_det_rounds_then_decide_min(self):
+        proto = SynRanProtocol()
+        n = 20
+        state = make_state(proto, n=n, input_bit=1)
+        state.stage = Stage.DETERMINISTIC
+        state.det_known = {1}
+        total = proto.det_stage_rounds(n)
+        for r in range(total):
+            proto.receive(state, 10 + r, {5: ("DET", frozenset({0, 1}))})
+        assert state.decided and state.decision == 0
+
+    def test_det_absorbs_straggler_bits(self):
+        proto = SynRanProtocol()
+        state = make_state(proto, n=20, input_bit=1)
+        state.stage = Stage.DETERMINISTIC
+        state.det_known = {1}
+        proto.receive(state, 10, {3: ("BIT", 0)})
+        assert 0 in state.det_known
+
+    def test_det_stage_rounds_formula(self):
+        proto = SynRanProtocol(det_extra_rounds=2)
+        n = 100
+        assert proto.det_stage_rounds(n) == (
+            math.ceil(deterministic_stage_threshold(n)) + 2
+        )
+
+
+class TestEndToEnd:
+    def test_unanimous_one_fast_decision(self):
+        engine = Engine(SynRanProtocol(), BenignAdversary(), 10, seed=3)
+        result = engine.run([1] * 10)
+        verdict = verify_execution(result)
+        assert verdict.ok and verdict.decision == 1
+        assert result.decision_round <= 3
+
+    def test_unanimous_zero_fast_decision(self):
+        engine = Engine(SynRanProtocol(), BenignAdversary(), 10, seed=3)
+        result = engine.run([0] * 10)
+        verdict = verify_execution(result)
+        assert verdict.ok and verdict.decision == 0
+
+    def test_single_process(self):
+        for bit in (0, 1):
+            engine = Engine(SynRanProtocol(), BenignAdversary(), 1, seed=1)
+            result = engine.run([bit])
+            verdict = verify_execution(result)
+            assert verdict.ok and verdict.decision == bit
+
+    def test_two_processes_split(self):
+        engine = Engine(SynRanProtocol(), BenignAdversary(), 2, seed=5)
+        result = engine.run([0, 1])
+        assert verify_execution(result).ok
+
+    def test_validity_under_mass_crash_all_ones(self):
+        # The attack that breaks the symmetric ablation must NOT break
+        # SynRan: survivors see no zeros and propose 1.
+        n = 40
+        kill = 26
+        adv = StaticAdversary(t=kill, schedule={0: list(range(kill))})
+        engine = Engine(SynRanProtocol(), adv, n, seed=2)
+        result = engine.run([1] * n)
+        verdict = verify_execution(result)
+        assert verdict.ok and verdict.decision == 1
+
+    def test_validity_under_mass_crash_all_zeros(self):
+        n = 40
+        kill = 26
+        adv = StaticAdversary(t=kill, schedule={0: list(range(kill))})
+        engine = Engine(SynRanProtocol(), adv, n, seed=2)
+        result = engine.run([0] * n)
+        verdict = verify_execution(result)
+        assert verdict.ok and verdict.decision == 0
+
+    def test_agreement_under_random_crashes(self):
+        n = 12
+        for seed in range(25):
+            engine = Engine(
+                SynRanProtocol(),
+                RandomCrashAdversary(n, rate=0.15),
+                n,
+                seed=seed,
+            )
+            rng = random.Random(seed * 7)
+            result = engine.run([rng.randrange(2) for _ in range(n)])
+            assert verify_execution(result).ok, f"seed {seed}"
+
+    def test_agreement_under_tally_attack(self):
+        n = 24
+        for seed in range(8):
+            engine = Engine(
+                SynRanProtocol(),
+                TallyAttackAdversary(n),
+                n,
+                seed=seed,
+                strict_termination=False,
+            )
+            ones = math.ceil(0.55 * n)
+            result = engine.run([1] * ones + [0] * (n - ones))
+            assert verify_execution(result).ok, f"seed {seed}"
+
+    def test_burst_crash_to_deterministic_stage(self):
+        # Crash almost everyone in round 1: survivors hand off to the
+        # deterministic stage and still agree.
+        n = 30
+        victims = list(range(27))
+        adv = StaticAdversary(t=27, schedule={1: victims})
+        engine = Engine(SynRanProtocol(), adv, n, seed=9)
+        result = engine.run([i % 2 for i in range(n)])
+        verdict = verify_execution(result)
+        assert verdict.ok
+
+    def test_no_det_handoff_still_terminates_small_t(self):
+        proto = SynRanProtocol(det_handoff=False)
+        engine = Engine(proto, BenignAdversary(), 10, seed=4)
+        result = engine.run([i % 2 for i in range(10)])
+        assert verify_execution(result).ok

@@ -1,0 +1,136 @@
+"""Boundary semantics of SynRan's cascade: every inequality in the
+paper's pseudocode is strict or non-strict in a specific way, and the
+adversary experiments depend on those exact boundaries (the tally
+attack trims to ``floor(0.6 prev)``, which is only safe because the
+propose-1 comparison is strict).  These tests pin each boundary."""
+
+import random
+
+import pytest
+
+from repro.protocols import SynRanProtocol
+
+
+def react(ones, zeros, n=20, seed=0, proto=None):
+    proto = proto or SynRanProtocol()
+    state = proto.initial_state(0, n, 1, random.Random(seed))
+    inbox = {}
+    pid = 0
+    for _ in range(ones):
+        inbox[pid] = ("BIT", 1)
+        pid += 1
+    for _ in range(zeros):
+        inbox[pid] = ("BIT", 0)
+        pid += 1
+    proto.receive(state, 0, inbox)
+    return state
+
+
+class TestUpperBoundaries:
+    """prev = 20: decide-1 needs ones > 14; propose-1 needs ones > 12."""
+
+    def test_exactly_decide_hi_is_not_decide(self):
+        state = react(14, 6)
+        assert state.b == 1
+        assert not state.tentative_decided  # 14 is NOT > 14
+
+    def test_just_above_decide_hi_decides(self):
+        state = react(15, 5)
+        assert state.b == 1 and state.tentative_decided
+
+    def test_exactly_propose_hi_is_not_propose(self):
+        # ones = 12 = 0.6*20 exactly: falls through to the coin band.
+        results = {react(12, 8, seed=s).b for s in range(30)}
+        assert results == {0, 1}
+
+    def test_just_above_propose_hi_proposes(self):
+        state = react(13, 7)
+        assert state.b == 1 and not state.tentative_decided
+
+
+class TestLowerBoundaries:
+    """prev = 20: decide-0 needs ones < 8; propose-0 needs ones < 10."""
+
+    def test_exactly_decide_lo_is_not_decide(self):
+        state = react(8, 12)
+        assert state.b == 0
+        assert not state.tentative_decided  # 8 is NOT < 8
+
+    def test_just_below_decide_lo_decides(self):
+        state = react(7, 13)
+        assert state.b == 0 and state.tentative_decided
+
+    def test_exactly_propose_lo_is_coin(self):
+        # ones = 10 = 0.5*20 exactly: NOT < 10, so the coin band.
+        results = {react(10, 10, seed=s).b for s in range(30)}
+        assert results == {0, 1}
+
+    def test_just_below_propose_lo_proposes(self):
+        state = react(9, 11)
+        assert state.b == 0 and not state.tentative_decided
+
+
+class TestBiasClauseBoundaries:
+    def test_fires_only_at_exactly_zero_zeros(self):
+        # 11 ones, 0 zeros: below propose-1 (11 <= 12) but Z == 0.
+        state = react(11, 0)
+        assert state.b == 1
+        # One zero present: the clause must NOT fire; 11 of prev 20
+        # with a zero visible is the coin band.
+        results = {react(11, 1, seed=s).b for s in range(30)}
+        assert results == {0, 1}
+
+    def test_clause_precedes_decide_zero(self):
+        # 5 ones, 0 zeros would satisfy ones < 0.4*prev, but the bias
+        # clause is checked first: b = 1, no tentative decision.
+        state = react(5, 0)
+        assert state.b == 1
+        assert not state.tentative_decided
+
+
+class TestStopRuleBoundaries:
+    def test_diff_exactly_at_fraction_stops(self):
+        """STOP fires on diff <= N^{r-2}/10 — non-strict."""
+        proto = SynRanProtocol()
+        state = proto.initial_state(0, 20, 1, random.Random(0))
+        # Round 0: decide-1 band with N = 20.
+        proto.receive(state, 0, {i: ("BIT", 1) for i in range(16)})
+        state.n_hist[0] = 20  # force history: N(0) = 20
+        assert state.tentative_decided
+        # Round 1: N(1) = 18; diff = N(-2) - N(1) = 20 - 18 = 2 and
+        # N(-1)/10 = 2: 2 <= 2 -> STOP.
+        proto.receive(state, 1, {i: ("BIT", 1) for i in range(18)})
+        assert state.decided and state.halted
+
+    def test_diff_just_above_fraction_continues(self):
+        proto = SynRanProtocol()
+        state = proto.initial_state(0, 20, 1, random.Random(0))
+        proto.receive(state, 0, {i: ("BIT", 1) for i in range(16)})
+        state.n_hist[0] = 20
+        # N(1) = 17: diff = 3 > 2 -> revoke and continue.
+        proto.receive(state, 1, {i: ("BIT", 1) for i in range(17)})
+        assert not state.decided
+        assert state.b == 1  # cascade re-ran (17 > 0.7 * 20 = 14)
+        assert state.tentative_decided  # and re-decided tentatively
+
+
+class TestCustomThresholdBoundaries:
+    def test_custom_thresholds_shift_bands(self):
+        proto = SynRanProtocol(
+            decide_hi=0.9, propose_hi=0.8, propose_lo=0.3, decide_lo=0.2
+        )
+        # 17 of prev 20: above 0.8*20=16, not above 0.9*20=18.
+        state = react(17, 3, proto=proto)
+        assert state.b == 1 and not state.tentative_decided
+        # 19 of 20: decide band.
+        state = react(19, 1, proto=proto)
+        assert state.tentative_decided
+        # 7 of 20 with wide coin band [6, 16]: coin.
+        results = {
+            react(7, 13, seed=s, proto=SynRanProtocol(
+                decide_hi=0.9, propose_hi=0.8,
+                propose_lo=0.3, decide_lo=0.2,
+            )).b
+            for s in range(30)
+        }
+        assert results == {0, 1}

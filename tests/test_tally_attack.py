@@ -1,0 +1,184 @@
+"""Tests for the tally attack adversary (split + bleed modes)."""
+
+import math
+import random
+
+import pytest
+
+from repro._math import deterministic_stage_threshold
+from repro.adversary import BenignAdversary, TallyAttackAdversary
+from repro.errors import ConfigurationError
+from repro.protocols import SynRanProtocol
+from repro.protocols.synran import SynRanState, Stage
+from repro.sim.checks import verify_execution
+from repro.sim.engine import Engine
+from repro.sim.model import RoundView
+
+
+def make_synran_view(
+    bits, round_index=0, budget=100, n=None, prev=None, tentative=()
+):
+    """A view of a SynRan round where process i broadcasts bits[i]."""
+    n = n if n is not None else len(bits)
+    states = {}
+    for pid in range(n):
+        state = SynRanState(
+            pid=pid,
+            n=n,
+            input_bit=0,
+            rng=random.Random(pid),
+            b=bits[pid] if pid < len(bits) else 0,
+        )
+        if prev is not None:
+            for r in range(round_index):
+                state.n_hist[r] = prev
+        state.tentative_decided = pid in tentative
+        states[pid] = state
+    alive = frozenset(range(len(bits)))
+    payloads = {pid: ("BIT", bits[pid]) for pid in alive}
+    return RoundView(
+        round_index=round_index,
+        n=n,
+        alive=alive,
+        states=states,
+        payloads=payloads,
+        budget_remaining=budget,
+        inputs=tuple([0] * n),
+    )
+
+
+class TestConstruction:
+    def test_rejects_bad_window(self):
+        with pytest.raises(ConfigurationError):
+            TallyAttackAdversary(4, propose_lo=0.7, propose_hi=0.6)
+
+    def test_rejects_bad_stop_fraction(self):
+        with pytest.raises(ConfigurationError):
+            TallyAttackAdversary(4, stop_fraction=1.5)
+
+
+class TestSplitMode:
+    def setup_method(self):
+        self.adv = TallyAttackAdversary(100)
+        self.adv.reset(20, random.Random(0))
+
+    def test_inside_window_is_free(self):
+        # 11 ones of 20, prev=20: window is (10, 12]; no crashes needed.
+        bits = [1] * 11 + [0] * 9
+        decision = self.adv.on_round(make_synran_view(bits))
+        assert decision.count() == 0
+
+    def test_above_window_trims_exactly(self):
+        # 16 ones of 20: trim to 12 => 4 silent crashes of 1-senders.
+        bits = [1] * 16 + [0] * 4
+        view = make_synran_view(bits)
+        decision = self.adv.on_round(view)
+        assert decision.count() == 4
+        for victim in decision.victims:
+            assert view.payloads[victim] == ("BIT", 1)
+            assert decision.deliveries[victim] == frozenset()
+
+    def test_below_window_does_not_trim(self):
+        # 8 ones of 20 is below the window; split cannot help and no
+        # receiver is tentative, so the round is conceded.
+        bits = [1] * 8 + [0] * 12
+        decision = self.adv.on_round(make_synran_view(bits))
+        assert decision.count() == 0
+
+    def test_all_ones_concedes(self):
+        # Z = 0: the bias clause makes every outcome 1; no point.
+        bits = [1] * 20
+        decision = self.adv.on_round(make_synran_view(bits))
+        assert decision.count() == 0
+
+    def test_budget_shortfall_falls_through(self):
+        adv = TallyAttackAdversary(2)
+        adv.reset(20, random.Random(0))
+        bits = [1] * 16 + [0] * 4  # needs 4 crashes, has 2
+        decision = adv.on_round(make_synran_view(bits, budget=2))
+        assert decision.count() == 0
+
+
+class TestBleedMode:
+    def test_bleeds_when_stopper_would_stop(self):
+        # All-zeros unanimity, stable history: a tentative decider
+        # would STOP; the adversary must crash enough senders.
+        n = 20
+        adv = TallyAttackAdversary(100, enable_split=False)
+        adv.reset(n, random.Random(0))
+        view = make_synran_view(
+            [0] * n,
+            round_index=4,
+            prev=n,
+            tentative=range(n),
+        )
+        decision = adv.on_round(view)
+        # Stability bound: N(r) >= 20 - 2 stops; need N < 18 => 3 kills.
+        assert decision.count() == 3
+
+    def test_no_tentative_no_bleed(self):
+        n = 20
+        adv = TallyAttackAdversary(100, enable_split=False)
+        adv.reset(n, random.Random(0))
+        view = make_synran_view([0] * n, round_index=4, prev=n)
+        assert adv.on_round(view).count() == 0
+
+    def test_bleed_disabled(self):
+        n = 20
+        adv = TallyAttackAdversary(
+            100, enable_split=False, enable_bleed=False
+        )
+        adv.reset(n, random.Random(0))
+        view = make_synran_view(
+            [0] * n, round_index=4, prev=n, tentative=range(n)
+        )
+        assert adv.on_round(view).count() == 0
+
+    def test_gives_up_near_det_threshold(self):
+        n = 400
+        adv = TallyAttackAdversary(400)
+        adv.reset(n, random.Random(0))
+        few = int(deterministic_stage_threshold(n)) - 1
+        bits = [0] * few
+        view = make_synran_view(
+            bits, round_index=4, n=n, prev=few, tentative=range(few)
+        )
+        assert adv.on_round(view).count() == 0
+
+
+class TestEndToEndStall:
+    def test_stalls_much_longer_than_benign(self):
+        n = 64
+        inputs = [1] * 36 + [0] * 28  # ~0.55n ones
+        benign = Engine(
+            SynRanProtocol(), BenignAdversary(), n, seed=3
+        ).run(inputs)
+        attacked = Engine(
+            SynRanProtocol(),
+            TallyAttackAdversary(n),
+            n,
+            seed=3,
+            strict_termination=False,
+        ).run(inputs)
+        assert attacked.decision_round > 5 * benign.decision_round
+
+    def test_never_exceeds_budget(self):
+        n = 48
+        adv = TallyAttackAdversary(20)
+        result = Engine(
+            SynRanProtocol(), adv, n, seed=5, strict_termination=False
+        ).run([1] * 27 + [0] * 21)
+        assert len(result.crashed) <= 20
+        assert verify_execution(result).ok
+
+    def test_consensus_survives_the_attack(self):
+        n = 32
+        for seed in range(5):
+            result = Engine(
+                SynRanProtocol(),
+                TallyAttackAdversary(n),
+                n,
+                seed=seed,
+                strict_termination=False,
+            ).run([1] * 18 + [0] * 14)
+            assert verify_execution(result).ok, f"seed {seed}"

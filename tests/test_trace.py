@@ -1,0 +1,133 @@
+"""Unit tests for execution traces (repro.sim.trace)."""
+
+import pytest
+
+from repro.sim.trace import ExecutionTrace, RoundRecord
+
+
+def record(
+    index,
+    senders=(0, 1, 2),
+    victims=(),
+    decided=None,
+    halted=(),
+    alive_after=None,
+):
+    victims = frozenset(victims)
+    if alive_after is None:
+        alive_after = frozenset(senders) - victims
+    return RoundRecord(
+        index=index,
+        senders=tuple(senders),
+        payloads={pid: ("BIT", 1) for pid in senders},
+        victims=victims,
+        withheld={v: frozenset() for v in victims},
+        decided_this_round=decided or {},
+        halted_this_round=frozenset(halted),
+        alive_after=frozenset(alive_after),
+    )
+
+
+def make_trace(n=3, t=1):
+    return ExecutionTrace(n=n, t=t, inputs=tuple([1] * n), seed=0)
+
+
+class TestRoundRecord:
+    def test_crash_count(self):
+        assert record(0, victims=[1, 2]).crash_count() == 2
+        assert record(0).crash_count() == 0
+
+
+class TestAppend:
+    def test_appends_in_order(self):
+        trace = make_trace()
+        trace.append(record(0))
+        trace.append(record(1))
+        assert len(trace) == 2
+
+    def test_rejects_gap(self):
+        trace = make_trace()
+        trace.append(record(0))
+        with pytest.raises(ValueError):
+            trace.append(record(2))
+
+    def test_rejects_duplicate_index(self):
+        trace = make_trace()
+        trace.append(record(0))
+        with pytest.raises(ValueError):
+            trace.append(record(0))
+
+    def test_iteration_yields_records(self):
+        trace = make_trace()
+        trace.append(record(0))
+        assert [r.index for r in trace] == [0]
+
+
+class TestCrashAccounting:
+    def test_total_crashes(self):
+        trace = make_trace(n=4, t=3)
+        trace.append(record(0, senders=(0, 1, 2, 3), victims=[3]))
+        trace.append(record(1, senders=(0, 1, 2), victims=[1, 2]))
+        assert trace.total_crashes() == 3
+
+    def test_crashes_per_round(self):
+        trace = make_trace(n=4, t=3)
+        trace.append(record(0, senders=(0, 1, 2, 3), victims=[3]))
+        trace.append(record(1, senders=(0, 1, 2)))
+        assert trace.crashes_per_round() == [1, 0]
+
+    def test_max_crashes_in_a_round(self):
+        trace = make_trace(n=4, t=3)
+        trace.append(record(0, senders=(0, 1, 2, 3), victims=[2, 3]))
+        trace.append(record(1, senders=(0, 1), victims=[1]))
+        assert trace.max_crashes_in_a_round() == 2
+
+    def test_max_crashes_empty_trace(self):
+        assert make_trace().max_crashes_in_a_round() == 0
+
+    def test_crashed_set(self):
+        trace = make_trace(n=4, t=3)
+        trace.append(record(0, senders=(0, 1, 2, 3), victims=[3]))
+        trace.append(record(1, senders=(0, 1, 2), victims=[0]))
+        assert trace.crashed() == {0, 3}
+
+
+class TestDecisionRound:
+    def test_all_decide_same_round(self):
+        trace = make_trace()
+        trace.append(record(0, decided={0: 1, 1: 1, 2: 1}))
+        assert trace.decision_round() == 0
+
+    def test_staggered_decisions(self):
+        trace = make_trace()
+        trace.append(record(0, decided={0: 1}))
+        trace.append(record(1, decided={1: 1, 2: 1}))
+        assert trace.decision_round() == 1
+
+    def test_crash_resolves_undecided(self):
+        trace = make_trace()
+        trace.append(record(0, decided={0: 1, 1: 1}))
+        trace.append(record(1, senders=(0, 1, 2), victims=[2]))
+        assert trace.decision_round() == 1
+
+    def test_none_when_survivor_undecided(self):
+        trace = make_trace()
+        trace.append(record(0, decided={0: 1}))
+        assert trace.decision_round() is None
+
+    def test_first_decision_round(self):
+        trace = make_trace()
+        trace.append(record(0))
+        trace.append(record(1, decided={2: 0}))
+        assert trace.first_decision_round() == 1
+
+    def test_first_decision_round_none(self):
+        trace = make_trace()
+        trace.append(record(0))
+        assert trace.first_decision_round() is None
+
+    def test_decisions_accumulate(self):
+        trace = make_trace()
+        trace.append(record(0, decided={0: 1}))
+        trace.append(record(1, decided={1: 1}))
+        assert trace.decisions() == {0: 1, 1: 1}

@@ -1,0 +1,77 @@
+"""Tests for U^v mass estimation (repro.coinflip.uncontrollable)."""
+
+import random
+
+import pytest
+
+from repro.coinflip.games import (
+    MajorityDefaultZeroGame,
+    MajorityGame,
+    ParityGame,
+)
+from repro.coinflip.uncontrollable import (
+    estimate_uncontrollable_mass,
+    exact_control_vector,
+    exact_uncontrollable_mass,
+)
+from repro.errors import ConfigurationError
+
+
+class TestExact:
+    def test_parity_one_hiding_controls_almost_all(self):
+        # U^0 for parity with t=1 is empty; U^1 is just the all-zeros
+        # vector (mass 2^-n).
+        game = ParityGame(6)
+        assert exact_uncontrollable_mass(game, 0, t=1) == 0.0
+        assert exact_uncontrollable_mass(game, 1, t=1) == pytest.approx(
+            2.0 ** -6
+        )
+
+    def test_majority_default_zero_asymmetry(self):
+        game = MajorityDefaultZeroGame(7)
+        u0 = exact_uncontrollable_mass(game, 0, t=7)
+        u1 = exact_uncontrollable_mass(game, 1, t=7)
+        assert u0 == 0.0  # full budget always forces 0
+        # U^1 = vectors without a 1-majority: exactly half the space
+        # for odd n (hiding can never help towards 1).
+        assert u1 == pytest.approx(0.5)
+
+    def test_majority_full_budget_controls_both(self):
+        game = MajorityGame(7)
+        assert exact_uncontrollable_mass(game, 0, t=7) == 0.0
+        # Towards 1 the only stuck vector is all-zeros (no ones exist
+        # to reveal; hiding everything ties, and ties resolve to 0).
+        assert exact_uncontrollable_mass(game, 1, t=7) == pytest.approx(
+            2.0 ** -7
+        )
+
+    def test_control_vector(self):
+        game = ParityGame(5)
+        vec = exact_control_vector(game, t=1)
+        assert vec[0] == 1.0
+        assert vec[1] == pytest.approx(1.0 - 2.0 ** -5)
+
+    def test_refuses_large_n(self):
+        with pytest.raises(ConfigurationError):
+            exact_uncontrollable_mass(MajorityGame(30), 0, t=1)
+
+
+class TestEstimate:
+    def test_estimate_matches_exact_on_small_game(self):
+        game = MajorityDefaultZeroGame(10)
+        exact = exact_uncontrollable_mass(game, 1, t=10)
+        est = estimate_uncontrollable_mass(
+            game, 1, t=10, trials=4000, rng=random.Random(0)
+        )
+        assert est == pytest.approx(exact, abs=0.05)
+
+    def test_estimate_zero_for_fully_controllable(self):
+        game = MajorityGame(9)
+        est = estimate_uncontrollable_mass(
+            game, 0, t=9, trials=500, rng=random.Random(0)
+        )
+        assert est == 0.0
+
+    def test_rejects_zero_trials(self):
+        with pytest.raises(ConfigurationError):
+            estimate_uncontrollable_mass(MajorityGame(3), 0, 1, trials=0)

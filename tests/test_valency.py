@@ -1,0 +1,165 @@
+"""Tests for the exact valency analyzer (repro.analysis.valency)."""
+
+import pytest
+
+from repro.analysis.valency import (
+    Classification,
+    ValencyAnalyzer,
+    classify,
+    paper_epsilon,
+)
+from repro.errors import ConfigurationError
+from repro.protocols import FloodSetProtocol, SynRanProtocol
+
+
+class TestClassify:
+    def test_table_is_exhaustive(self):
+        eps = 0.3
+        assert classify(0.0, 1.0, eps) == Classification.BIVALENT
+        assert classify(0.0, 0.5, eps) == Classification.ZERO_VALENT
+        assert classify(0.5, 1.0, eps) == Classification.ONE_VALENT
+        assert classify(0.5, 0.5, eps) == Classification.NULL_VALENT
+
+    def test_boundaries_match_paper_inequalities(self):
+        eps = 0.25
+        # min < eps is strict; max > 1 - eps is strict.
+        assert classify(0.25, 0.75, eps) == Classification.NULL_VALENT
+        assert classify(0.2499, 0.7501, eps) == Classification.BIVALENT
+
+    def test_paper_epsilon(self):
+        assert paper_epsilon(16) == pytest.approx(0.25)
+        assert paper_epsilon(16, k=4) == pytest.approx(0.25 - 0.25)
+
+
+class TestConstruction:
+    def test_rejects_budget_equal_n(self):
+        with pytest.raises(ConfigurationError):
+            ValencyAnalyzer(SynRanProtocol(), 3, budget=3)
+
+    def test_rejects_unknown_delivery_mode(self):
+        with pytest.raises(ConfigurationError):
+            ValencyAnalyzer(
+                SynRanProtocol(), 3, budget=1, delivery_modes=("smoke",)
+            )
+
+    def test_rejects_bad_objective(self):
+        with pytest.raises(ConfigurationError):
+            ValencyAnalyzer(
+                SynRanProtocol(), 3, budget=1, objective="speed"
+            )
+
+    def test_min_max_requires_decide1(self):
+        analyzer = ValencyAnalyzer(
+            SynRanProtocol(), 2, budget=1, objective="rounds"
+        )
+        with pytest.raises(ConfigurationError):
+            analyzer.min_max((0, 1))
+
+    def test_input_length_checked(self):
+        analyzer = ValencyAnalyzer(SynRanProtocol(), 3, budget=1)
+        with pytest.raises(ConfigurationError):
+            analyzer.min_max((0, 1))
+
+
+class TestSynRanValency:
+    def test_unanimous_states_are_univalent(self):
+        """Validity forces unanimous initial states to be univalent —
+        the probabilistic analogue of the standard argument."""
+        analyzer = ValencyAnalyzer(SynRanProtocol(), 3, budget=2, horizon=40)
+        rep0 = analyzer.min_max((0, 0, 0))
+        rep1 = analyzer.min_max((1, 1, 1))
+        assert rep0.min_p == rep0.max_p == 0.0
+        assert rep1.min_p == rep1.max_p == 1.0
+
+    def test_lemma35_nonunivalent_initial_state_exists(self):
+        analyzer = ValencyAnalyzer(SynRanProtocol(), 3, budget=2, horizon=40)
+        scan = analyzer.scan_initial_states()
+        assert any(
+            not rep.is_univalent(0.3) for rep in scan.values()
+        )
+
+    def test_probabilities_are_probabilities(self):
+        analyzer = ValencyAnalyzer(SynRanProtocol(), 3, budget=1, horizon=40)
+        for bits in ((0, 1, 1), (1, 0, 0)):
+            rep = analyzer.min_max(bits)
+            assert 0.0 <= rep.min_p <= rep.max_p <= 1.0
+
+    def test_budget_monotonicity(self):
+        """More budget can only widen the [min, max] interval."""
+        small = ValencyAnalyzer(
+            SynRanProtocol(), 3, budget=0, horizon=40
+        ).min_max((0, 1, 1))
+        large = ValencyAnalyzer(
+            SynRanProtocol(), 3, budget=2, horizon=40
+        ).min_max((0, 1, 1))
+        assert large.min_p <= small.min_p
+        assert large.max_p >= small.max_p
+
+    def test_zero_budget_collapses_to_plain_run(self):
+        analyzer = ValencyAnalyzer(SynRanProtocol(), 3, budget=0, horizon=40)
+        rep = analyzer.min_max((1, 1, 0))
+        # Without failures the execution is one fixed (possibly random)
+        # run; min == max.
+        assert rep.min_p == pytest.approx(rep.max_p)
+
+
+class TestFloodSetValency:
+    def test_floodset_min_can_lose_unique_value(self):
+        """FloodSet decides min(W); the adversary can silence the only
+        0-holder before it floods, pushing the decision to 1."""
+        analyzer = ValencyAnalyzer(
+            FloodSetProtocol.for_resilience(1), 3, budget=1, horizon=10
+        )
+        rep = analyzer.min_max((0, 1, 1))
+        assert rep.max_p == 1.0  # silence pid 0 -> everyone decides 1
+        assert rep.min_p == 0.0  # deliver everything -> min is 0
+
+    def test_floodset_unanimous_fixed(self):
+        analyzer = ValencyAnalyzer(
+            FloodSetProtocol.for_resilience(1), 3, budget=1, horizon=10
+        )
+        rep = analyzer.min_max((1, 1, 1))
+        assert rep.min_p == rep.max_p == 1.0
+
+
+class TestRoundsObjective:
+    def test_max_rounds_at_least_plain_run(self):
+        plain = ValencyAnalyzer(
+            SynRanProtocol(), 3, budget=0, horizon=40, objective="rounds"
+        ).max_rounds((1, 1, 0))
+        stalled = ValencyAnalyzer(
+            SynRanProtocol(), 3, budget=2, horizon=40, objective="rounds"
+        ).max_rounds((1, 1, 0))
+        assert stalled >= plain
+
+    def test_floodset_rounds_are_fixed(self):
+        analyzer = ValencyAnalyzer(
+            FloodSetProtocol.for_resilience(1),
+            3,
+            budget=0,
+            horizon=10,
+            objective="rounds",
+        )
+        # FloodSet with t=1 always runs exactly 2 rounds.
+        assert analyzer.max_rounds((0, 1, 1)) == 2.0
+
+    def test_rounds_requires_rounds_objective(self):
+        analyzer = ValencyAnalyzer(SynRanProtocol(), 2, budget=1)
+        with pytest.raises(ConfigurationError):
+            analyzer.max_rounds((0, 1))
+
+
+class TestNodeAccounting:
+    def test_nodes_counted(self):
+        analyzer = ValencyAnalyzer(SynRanProtocol(), 2, budget=1, horizon=30)
+        rep = analyzer.min_max((0, 1))
+        assert rep.nodes > 0
+
+    def test_node_limit_enforced(self):
+        analyzer = ValencyAnalyzer(
+            SynRanProtocol(), 3, budget=2, horizon=40, node_limit=5
+        )
+        from repro.analysis.valency import AnalysisBudgetExceeded
+
+        with pytest.raises(AnalysisBudgetExceeded):
+            analyzer.min_max((0, 1, 1))

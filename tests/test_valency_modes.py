@@ -1,0 +1,106 @@
+"""Valency analysis under richer adversary action spaces.
+
+Section 3.4's strategy works message by message — the adversary fails
+a process but chooses exactly which recipients still hear it.  The
+``"subsets"`` delivery mode exposes that power to the exact analyzer;
+these tests check it is at least as strong as silent/full crashes and
+that the engine-level semantics agree.
+"""
+
+import pytest
+
+from repro.analysis.valency import ValencyAnalyzer
+from repro.protocols import FloodSetProtocol, SynRanProtocol
+
+
+class TestSubsetsMode:
+    def test_subsets_widen_or_match_the_interval(self):
+        """Every silent/full action is a subsets action, so the
+        min/max interval under subsets contains the silent/full one."""
+        proto = FloodSetProtocol.for_resilience(1)
+        base = ValencyAnalyzer(
+            FloodSetProtocol.for_resilience(1),
+            3,
+            budget=1,
+            horizon=10,
+            delivery_modes=("silent", "full"),
+        ).min_max((0, 1, 1))
+        rich = ValencyAnalyzer(
+            FloodSetProtocol.for_resilience(1),
+            3,
+            budget=1,
+            horizon=10,
+            delivery_modes=("subsets",),
+        ).min_max((0, 1, 1))
+        assert rich.min_p <= base.min_p
+        assert rich.max_p >= base.max_p
+
+    def test_partial_delivery_matters_for_floodset(self):
+        """With 2 flooding rounds and 1 crash, leaking the unique 0 to
+        exactly one process still propagates it (the classic FloodSet
+        chain) — so even under subsets the adversary cannot push
+        Pr[1] above what silencing achieves, but it CAN choose any
+        delivery pattern; the interval is the full [0, 1]."""
+        analyzer = ValencyAnalyzer(
+            FloodSetProtocol.for_resilience(1),
+            3,
+            budget=1,
+            horizon=10,
+            delivery_modes=("subsets",),
+        )
+        rep = analyzer.min_max((0, 1, 1))
+        assert rep.min_p == 0.0
+        assert rep.max_p == 1.0
+
+    def test_synran_subsets_still_classifies(self):
+        analyzer = ValencyAnalyzer(
+            SynRanProtocol(),
+            3,
+            budget=1,
+            horizon=40,
+            delivery_modes=("subsets",),
+        )
+        rep = analyzer.min_max((0, 1, 1))
+        assert 0.0 <= rep.min_p <= rep.max_p <= 1.0
+        assert rep.classification(0.3) in (
+            "bivalent", "0-valent", "1-valent", "null-valent",
+        )
+
+    def test_unanimous_still_pinned_under_subsets(self):
+        """No delivery pattern can break Validity: unanimous inputs
+        stay exactly univalent even with message-level control."""
+        analyzer = ValencyAnalyzer(
+            SynRanProtocol(),
+            3,
+            budget=2,
+            horizon=40,
+            delivery_modes=("subsets",),
+            max_failures_per_round=2,
+        )
+        rep1 = analyzer.min_max((1, 1, 1))
+        assert rep1.min_p == rep1.max_p == 1.0
+
+
+class TestPerRoundCaps:
+    def test_two_failures_per_round_at_least_as_strong(self):
+        one = ValencyAnalyzer(
+            SynRanProtocol(), 3, budget=2, horizon=40,
+            max_failures_per_round=1,
+        ).min_max((0, 1, 1))
+        two = ValencyAnalyzer(
+            SynRanProtocol(), 3, budget=2, horizon=40,
+            max_failures_per_round=2,
+        ).min_max((0, 1, 1))
+        assert two.min_p <= one.min_p
+        assert two.max_p >= one.max_p
+
+    def test_zero_cap_equals_zero_budget(self):
+        capped = ValencyAnalyzer(
+            SynRanProtocol(), 3, budget=2, horizon=40,
+            max_failures_per_round=0,
+        ).min_max((1, 1, 0))
+        unbudgeted = ValencyAnalyzer(
+            SynRanProtocol(), 3, budget=0, horizon=40,
+        ).min_max((1, 1, 0))
+        assert capped.min_p == pytest.approx(unbudgeted.min_p)
+        assert capped.max_p == pytest.approx(unbudgeted.max_p)
