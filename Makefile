@@ -1,0 +1,31 @@
+# Developer entry points.  `make check` is what CI runs.
+
+PYTHONPATH := src
+export PYTHONPATH
+
+.PHONY: lint replint ruff test bench check
+
+# Repo-specific static analysis (REP001-REP004).
+replint:
+	python -m repro.lint src
+
+# Generic python lint; requires `pip install -e '.[lint]'`.  Skips
+# with a notice when ruff is absent so `make check` stays usable in
+# minimal environments (CI installs the extra and runs it for real).
+ruff:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed (pip install -e '.[lint]'); skipping"; \
+	fi
+
+lint: ruff replint
+
+# Tier-1 test suite (the gate every change must keep green).
+test:
+	python -m pytest -x -q
+
+bench:
+	python -m pytest benchmarks/ --benchmark-only
+
+check: lint test

@@ -17,6 +17,23 @@ from __future__ import annotations
 from repro.harness.report import Table, render_table
 
 
+def pytest_ignore_collect(collection_path, config):
+    """Collect benchmarks only when they are explicitly requested.
+
+    ``python_files`` includes ``bench_*.py`` globally (so ``pytest
+    benchmarks/`` works), which used to make a plain ``pytest .`` from
+    the repo root silently pull in all 17 end-to-end experiment
+    benchmarks.  This hook scopes collection: anything under this
+    directory is skipped unless an invocation argument mentions
+    benchmarks (a path into ``benchmarks/`` or a ``--benchmark-*``
+    flag).
+    """
+    args = [str(a) for a in config.invocation_params.args]
+    if any("benchmark" in a for a in args):
+        return None  # explicitly requested: defer to normal collection
+    return True
+
+
 def run_experiment(benchmark, experiment, scale: str = "quick") -> Table:
     """Execute one experiment under the benchmark timer and print it."""
     table = benchmark.pedantic(

@@ -15,7 +15,12 @@ from repro.adversary.base import Adversary
 from repro.adversary.benign import BenignAdversary
 from repro.adversary.benorattack import BenOrQuorumAdversary
 from repro.adversary.lowerbound import ExactValencyAdversary
+from repro.adversary.oblivious import (
+    ObliviousAdversary,
+    calibrated_drip_schedule,
+)
 from repro.adversary.random_crash import RandomCrashAdversary
+from repro.adversary.static import StaticAdversary
 from repro.errors import ConfigurationError
 
 __all__ = ["available_adversaries", "make_adversary", "register_adversary"]
@@ -40,6 +45,14 @@ _FACTORIES: Dict[str, Callable[[int, int, object], Adversary]] = {
     ),
     "exact-stall": lambda n, t, proto: ExactValencyAdversary(
         t, proto, n, objective="rounds"
+    ),
+    # Empty schedule by default: "static" exists so scripted schedules
+    # (regression replays) are constructible by name; pass a real
+    # schedule programmatically via StaticAdversary(t, schedule=...).
+    "static": lambda n, t, proto: StaticAdversary(t, schedule={}),
+    # The strongest oblivious plan we know: the precomputed bleed drip.
+    "oblivious": lambda n, t, proto: ObliviousAdversary(
+        t, calibrated_drip_schedule
     ),
 }
 

@@ -9,11 +9,14 @@ Subcommands:
 * ``bounds`` — evaluate the paper's closed-form bounds at (n, t).
 * ``experiments`` — the E1..E10 claim-reproduction suite (delegates
   to :mod:`repro.harness.experiments`).
+* ``lint`` — the repo-specific static-analysis pass (REP001–REP004;
+  delegates to :mod:`repro.lint`).
 """
 
 from __future__ import annotations
 
 import argparse
+import random
 import sys
 from typing import List, Optional, Sequence
 
@@ -126,7 +129,9 @@ def _cmd_coin(args: argparse.Namespace) -> int:
     t = args.t if args.t is not None else min(
         args.n, adversary_round_budget(args.n) * game.k
     )
-    report = find_controllable_outcome(game, t, trials=args.trials)
+    report = find_controllable_outcome(
+        game, t, trials=args.trials, rng=random.Random(args.seed)
+    )
     table = Table(
         title=f"coin: {args.game} (n={args.n}, k={game.k}, t={t})",
         columns=["outcome", "P(control)"],
@@ -193,6 +198,15 @@ def _cmd_bounds(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.runner import main as lint_main
+
+    forwarded: List[str] = list(args.paths) + ["--format", args.format]
+    if args.select:
+        forwarded += ["--select", args.select]
+    return lint_main(forwarded)
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.harness.experiments import main as experiments_main
 
@@ -236,6 +250,7 @@ def build_parser() -> argparse.ArgumentParser:
     coin.add_argument("--t", type=int, default=None,
                       help="hiding budget (default: Lemma 2.1's)")
     coin.add_argument("--trials", type=int, default=300)
+    coin.add_argument("--seed", type=int, default=0)
     coin.set_defaults(func=_cmd_coin)
 
     val = sub.add_parser("valency", help="exact valency scan (§3.2)")
@@ -258,6 +273,17 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--scale", choices=("quick", "full"), default="quick")
     exp.add_argument("--only", nargs="*", default=None)
     exp.set_defaults(func=_cmd_experiments)
+
+    lint = sub.add_parser(
+        "lint", help="repo-specific static analysis (REP001-REP004)"
+    )
+    lint.add_argument("paths", nargs="*", default=["src"])
+    lint.add_argument(
+        "--format", choices=("json", "text"), default="json"
+    )
+    lint.add_argument("--select", default=None,
+                      help="comma-separated rule ids")
+    lint.set_defaults(func=_cmd_lint)
 
     return parser
 

@@ -56,6 +56,22 @@ class ValidityViolation(ReproError):
     """
 
 
+class SanitizerViolationError(ReproError):
+    """The runtime simulation sanitizer observed a model-contract break.
+
+    Raised by :class:`repro.lint.sanitizer.SimSanitizer` in ``raise``
+    mode when an execution violates fail-stop semantics, a failure
+    budget, round monotonicity, or decision irrevocability.  Carries the
+    offending :class:`~repro.lint.sanitizer.SanitizerViolation` and the
+    full structured report.
+    """
+
+    def __init__(self, message, *, violation=None, report=None):
+        super().__init__(message)
+        self.violation = violation
+        self.report = report
+
+
 class TerminationViolation(ReproError):
     """A non-faulty process failed to decide within the allowed horizon.
 

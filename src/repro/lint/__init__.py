@@ -1,0 +1,28 @@
+"""``repro.lint`` — repo-specific static analysis + runtime sanitizer.
+
+Two halves guard the model contracts the paper's results depend on:
+
+* **Static pass** (``python -m repro.lint src`` or ``repro lint``):
+  AST rules REP001 (no global-RNG usage), REP002 (registry
+  completeness), REP003 (adversary-knowledge boundary), and REP004
+  (paper-reference hygiene).  See ``docs/static_analysis.md``.
+* **Runtime pass** (:class:`SimSanitizer`): hooked into both engines
+  behind a flag, asserting fail-stop semantics, failure budgets, round
+  monotonicity, and decision irrevocability at execution time.
+"""
+
+from repro.lint.findings import Finding, LintReport
+from repro.lint.rules import ALL_RULES, RuleConfig
+from repro.lint.runner import lint_paths, main
+from repro.lint.sanitizer import SanitizerViolation, SimSanitizer
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintReport",
+    "RuleConfig",
+    "SanitizerViolation",
+    "SimSanitizer",
+    "lint_paths",
+    "main",
+]

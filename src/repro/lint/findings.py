@@ -1,0 +1,112 @@
+"""Finding objects, suppression pragmas, and machine-readable reports.
+
+A :class:`Finding` pins one rule violation to a file and line.  Findings
+are plain data so the runner can render them as text for humans or JSON
+for CI and the acceptance harness.
+
+Suppression: a finding on line ``L`` is dropped when line ``L`` of the
+source carries an inline pragma::
+
+    tally = random.random()  # repro-lint: disable=REP001
+    risky_pair()             # repro-lint: disable=REP001,REP003
+    anything_at_all()        # repro-lint: disable=all
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+__all__ = ["Finding", "LintReport", "suppressions"]
+
+_PRAGMA_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes:
+        rule: Rule identifier (``REP001`` .. ``REP004``).
+        file: Path of the offending file, as given to the runner.
+        line: 1-based line of the offending construct.
+        col: 0-based column offset.
+        message: Human-readable explanation with the suggested remedy.
+        symbol: The offending name when one exists (class, call target,
+            or registry key) — empty otherwise.
+    """
+
+    rule: str
+    file: str
+    line: int
+    col: int
+    message: str
+    symbol: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form, keys stable for tooling."""
+        return {
+            "rule": self.rule,
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "symbol": self.symbol,
+        }
+
+    def render(self) -> str:
+        """``file:line:col: RULE message`` (clickable in most editors)."""
+        return f"{self.file}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass
+class LintReport:
+    """Everything one lint invocation produced.
+
+    ``ok`` is ``True`` exactly when no finding survived suppression;
+    the CLI exit code is ``0 if ok else 1``.
+    """
+
+    findings: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    rules_run: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for f in self.findings:
+            counts[f.rule] = counts.get(f.rule, 0) + 1
+        return counts
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "files_scanned": self.files_scanned,
+            "rules_run": list(self.rules_run),
+            "counts": self.counts_by_rule(),
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+
+def suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map 1-based line numbers to the rule ids suppressed on that line.
+
+    The special id ``all`` suppresses every rule on the line.
+    """
+    out: Dict[int, Set[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA_RE.search(text)
+        if match is None:
+            continue
+        rules = {
+            token.strip().upper() if token.strip().lower() != "all" else "all"
+            for token in match.group(1).split(",")
+            if token.strip()
+        }
+        if rules:
+            out[lineno] = rules
+    return out

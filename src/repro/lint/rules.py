@@ -1,0 +1,615 @@
+"""The repo-specific rules REP001–REP004.
+
+Per-file rules receive a :class:`FileContext` (path + parsed AST) and a
+:class:`RuleConfig`; the project-level rule REP002 receives the whole
+file set at once, because registry completeness is a cross-file
+property.
+
+Rule summary (full prose in ``docs/static_analysis.md``):
+
+* **REP001** — no global-RNG usage.  All randomness must flow through
+  an injected, seeded ``random.Random`` or ``numpy.random.Generator``;
+  module-level ``random.<fn>()`` calls, ``from random import <fn>``,
+  unseeded ``random.Random()`` / ``default_rng()``, ``SystemRandom``,
+  and ``np.random.<fn>`` global-state access are all flagged.
+* **REP002** — registry completeness.  Every concrete
+  ``Protocol``/``Adversary`` subclass under
+  ``src/repro/{protocols,adversary}/`` must be referenced by its
+  package's ``registry.py``, and every registry name must appear in
+  ``docs/``.
+* **REP003** — adversary-knowledge boundary.  Adversary modules may
+  only touch the public view/API of ``sim.model``: accessing ``.rng``
+  on anything but ``self`` (a process's *future* coins) or a
+  ``_private`` attribute of a foreign object is forbidden.
+* **REP004** — paper-reference hygiene.  A docstring citing
+  ``Lemma X.Y`` / ``Theorem N`` must cite one that exists in
+  ``PAPER.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.findings import Finding
+
+__all__ = [
+    "ALL_RULES",
+    "FileContext",
+    "RuleConfig",
+    "check_rep001",
+    "check_rep002",
+    "check_rep003",
+    "check_rep004",
+    "paper_references",
+]
+
+ALL_RULES = ("REP001", "REP002", "REP003", "REP004")
+
+#: numpy.random attributes that construct *seedable* generators and are
+#: therefore fine to call (with a seed; ``default_rng``/``RandomState``
+#: without arguments are still flagged as unseeded).
+_NUMPY_SEEDABLE = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "RandomState",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "MT19937",
+        "SFC64",
+    }
+)
+
+#: Base classes whose concrete descendants REP002 requires registered.
+_REGISTRY_ROOTS = frozenset({"Adversary", "ConsensusProtocol", "Protocol"})
+
+#: Packages REP002/REP003 apply to (matched against path segments).
+_ADVERSARY_DIR = "adversary"
+_PROTOCOL_DIR = "protocols"
+
+_CITE_RE = re.compile(
+    r"\b(Lemma|Theorem|Thm|Corollary|Cor)s?\b\.?[\s\-–]+"
+    r"(\d+(?:\.\d+)?)(?:\s*[–/-]\s*(\d+(?:\.\d+)?))?"
+)
+
+_KIND_ALIASES = {
+    "lemma": "lemma",
+    "theorem": "theorem",
+    "thm": "theorem",
+    "corollary": "corollary",
+    "cor": "corollary",
+}
+
+
+@dataclass
+class RuleConfig:
+    """Knobs shared by all rules.
+
+    Attributes:
+        allow_global_random: Glob patterns (matched against the posix
+            form of the file path) exempt from REP001.
+        paper_refs: Set of ``(kind, number)`` citations that exist in
+            PAPER.md, or ``None`` when no PAPER.md was found (REP004 is
+            then skipped — there is nothing to check against).
+        docs_dir: The repo's ``docs/`` directory, or ``None`` (the
+            registry-name-in-docs half of REP002 is then skipped).
+        select: Rules to run.
+    """
+
+    allow_global_random: Tuple[str, ...] = ()
+    paper_refs: Optional[Set[Tuple[str, str]]] = None
+    docs_dir: Optional[Path] = None
+    select: Tuple[str, ...] = ALL_RULES
+
+
+@dataclass
+class FileContext:
+    """One parsed source file, ready for the per-file rules."""
+
+    path: Path
+    display_path: str
+    source: str
+    tree: ast.AST
+
+    _parts: Tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        self._parts = tuple(self.path.parts)
+
+    @property
+    def in_adversary_package(self) -> bool:
+        return _ADVERSARY_DIR in self._parts
+
+    @property
+    def in_registry_package(self) -> bool:
+        return _ADVERSARY_DIR in self._parts or _PROTOCOL_DIR in self._parts
+
+
+def parse_file(path: Path, display_path: str) -> Optional[FileContext]:
+    """Parse ``path``; returns ``None`` for unreadable/unparsable files
+    (the runner reports those separately as REP000 findings)."""
+    try:
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+    except (OSError, SyntaxError, ValueError):
+        return None
+    return FileContext(
+        path=path, display_path=display_path, source=source, tree=tree
+    )
+
+
+# ----------------------------------------------------------------------
+# REP001 — no global-RNG usage
+# ----------------------------------------------------------------------
+
+
+def check_rep001(ctx: FileContext, config: RuleConfig) -> List[Finding]:
+    posix = ctx.path.as_posix()
+    if any(fnmatch(posix, pattern) for pattern in config.allow_global_random):
+        return []
+
+    findings: List[Finding] = []
+    # local name -> module it aliases ("random" / "numpy" / "numpy.random")
+    aliases: Dict[str, str] = {}
+    # local name -> fully qualified constructor it binds
+    bound: Dict[str, str] = {}
+
+    def emit(node: ast.AST, message: str, symbol: str) -> None:
+        findings.append(
+            Finding(
+                rule="REP001",
+                file=ctx.display_path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                message=message,
+                symbol=symbol,
+            )
+        )
+
+    def dotted(expr: ast.expr) -> Optional[str]:
+        parts: List[str] = []
+        while isinstance(expr, ast.Attribute):
+            parts.append(expr.attr)
+            expr = expr.value
+        if not isinstance(expr, ast.Name):
+            return None
+        parts.append(expr.id)
+        parts.reverse()
+        head = parts[0]
+        if head in aliases:
+            return ".".join([aliases[head]] + parts[1:])
+        if head in bound and len(parts) == 1:
+            return bound[head]
+        return None
+
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                if alias.name == "random":
+                    aliases[local] = "random"
+                elif alias.name == "numpy":
+                    aliases[local] = "numpy"
+                elif alias.name == "numpy.random":
+                    # ``import numpy.random`` binds ``numpy``;
+                    # ``import numpy.random as nr`` binds ``nr``.
+                    aliases[local] = (
+                        "numpy.random" if alias.asname else "numpy"
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "random" and node.level == 0:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    if alias.name == "Random":
+                        bound[local] = "random.Random"
+                    elif alias.name == "SystemRandom":
+                        bound[local] = "random.SystemRandom"
+                    else:
+                        emit(
+                            node,
+                            f"'from random import {alias.name}' binds the "
+                            "process-global RNG; inject a seeded "
+                            "random.Random instead",
+                            f"random.{alias.name}",
+                        )
+            elif node.module == "numpy.random" and node.level == 0:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    if alias.name in _NUMPY_SEEDABLE:
+                        bound[local] = f"numpy.random.{alias.name}"
+                    else:
+                        emit(
+                            node,
+                            f"'from numpy.random import {alias.name}' "
+                            "uses numpy's global RNG state; inject a "
+                            "numpy.random.Generator instead",
+                            f"numpy.random.{alias.name}",
+                        )
+            elif node.module == "numpy" and node.level == 0:
+                for alias in node.names:
+                    if alias.name == "random":
+                        aliases[alias.asname or "random"] = "numpy.random"
+
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        path = dotted(node.func)
+        if path is None:
+            continue
+        unseeded = not node.args and not node.keywords
+        if path == "random.Random":
+            if unseeded:
+                emit(
+                    node,
+                    "unseeded random.Random() cannot be replayed; "
+                    "derive the seed from the experiment's master seed",
+                    path,
+                )
+        elif path == "random.SystemRandom":
+            emit(
+                node,
+                "random.SystemRandom draws OS entropy and can never be "
+                "replayed; use an injected seeded random.Random",
+                path,
+            )
+        elif path.startswith("random."):
+            emit(
+                node,
+                f"{path}() draws from the process-global RNG; all "
+                "randomness must come from an injected random.Random",
+                path,
+            )
+        elif path == "numpy.random.default_rng":
+            if unseeded:
+                emit(
+                    node,
+                    "unseeded numpy.random.default_rng() cannot be "
+                    "replayed; pass a seed derived from the master seed",
+                    path,
+                )
+        elif path == "numpy.random.RandomState" and unseeded:
+            emit(
+                node,
+                "unseeded numpy.random.RandomState() cannot be replayed; "
+                "pass a seed (or use numpy.random.default_rng(seed))",
+                path,
+            )
+        elif path.startswith("numpy.random.") and (
+            path.rsplit(".", 1)[1] not in _NUMPY_SEEDABLE
+        ):
+            emit(
+                node,
+                f"{path}() touches numpy's global RNG state; use an "
+                "injected numpy.random.Generator",
+                path,
+            )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# REP003 — adversary-knowledge boundary
+# ----------------------------------------------------------------------
+
+
+def check_rep003(ctx: FileContext, config: RuleConfig) -> List[Finding]:
+    if not ctx.in_adversary_package:
+        return []
+    findings: List[Finding] = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Attribute):
+            continue
+        base = node.value
+        base_is_own = isinstance(base, ast.Name) and base.id in (
+            "self",
+            "cls",
+        )
+        if base_is_own:
+            continue
+        if node.attr == "rng":
+            findings.append(
+                Finding(
+                    rule="REP003",
+                    file=ctx.display_path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        "adversary reads '.rng' of a foreign object — a "
+                        "process's PRNG encodes its *future* coins, which "
+                        "the model's adversary must not see; use only the "
+                        "public RoundView/state API"
+                    ),
+                    symbol="rng",
+                )
+            )
+        elif node.attr.startswith("_") and not node.attr.startswith("__"):
+            findings.append(
+                Finding(
+                    rule="REP003",
+                    file=ctx.display_path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"adversary touches private attribute "
+                        f"'{node.attr}' of a foreign object; adversaries "
+                        "may only use the public view/API of sim.model"
+                    ),
+                    symbol=node.attr,
+                )
+            )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# REP004 — paper-reference hygiene
+# ----------------------------------------------------------------------
+
+
+def _expand_citation(
+    kind: str, first: str, second: Optional[str]
+) -> List[Tuple[str, str]]:
+    """Expand ``Lemmas 3.1-3.5`` / ``Theorem 2/3`` into members."""
+    refs = [(kind, first)]
+    if second is None:
+        return refs
+    refs.append((kind, second))
+    try:
+        if "." in first and "." in second:
+            major_a, minor_a = first.split(".")
+            major_b, minor_b = second.split(".")
+            if major_a == major_b and int(minor_a) <= int(minor_b):
+                refs = [
+                    (kind, f"{major_a}.{m}")
+                    for m in range(int(minor_a), int(minor_b) + 1)
+                ]
+        elif "." not in first and "." not in second:
+            a, b = int(first), int(second)
+            if a <= b:
+                refs = [(kind, str(m)) for m in range(a, b + 1)]
+    except ValueError:  # pragma: no cover - defensive
+        pass
+    return refs
+
+
+def _citations(text: str) -> List[Tuple[str, str]]:
+    refs: List[Tuple[str, str]] = []
+    for match in _CITE_RE.finditer(text):
+        kind = _KIND_ALIASES[match.group(1).lower()]
+        refs.extend(_expand_citation(kind, match.group(2), match.group(3)))
+    return refs
+
+
+def paper_references(paper_text: str) -> Set[Tuple[str, str]]:
+    """All ``(kind, number)`` citations PAPER.md makes available."""
+    return set(_citations(paper_text))
+
+
+def check_rep004(ctx: FileContext, config: RuleConfig) -> List[Finding]:
+    refs = config.paper_refs
+    if refs is None:
+        return []
+    findings: List[Finding] = []
+
+    def check_doc(owner: str, doc: Optional[str], lineno: int) -> None:
+        if not doc:
+            return
+        for kind, number in _citations(doc):
+            if kind == "corollary":
+                continue  # PAPER.md only inventories lemmas/theorems
+            if (kind, number) not in refs:
+                findings.append(
+                    Finding(
+                        rule="REP004",
+                        file=ctx.display_path,
+                        line=lineno,
+                        col=0,
+                        message=(
+                            f"{owner} cites {kind.capitalize()} {number}, "
+                            "which does not exist in PAPER.md; fix the "
+                            "citation or update PAPER.md"
+                        ),
+                        symbol=f"{kind}-{number}",
+                    )
+                )
+
+    if isinstance(ctx.tree, ast.Module):
+        check_doc("module docstring", ast.get_docstring(ctx.tree), 1)
+    for node in ast.walk(ctx.tree):
+        if isinstance(
+            node, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
+        ) and not node.name.startswith("_"):
+            kind_name = (
+                "class" if isinstance(node, ast.ClassDef) else "function"
+            )
+            check_doc(
+                f"public {kind_name} {node.name!r}",
+                ast.get_docstring(node),
+                node.lineno,
+            )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# REP002 — registry completeness (project-level)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _ClassInfo:
+    name: str
+    bases: Tuple[str, ...]
+    abstract: bool
+    ctx: FileContext
+    lineno: int
+
+
+def _base_names(node: ast.ClassDef) -> Tuple[str, ...]:
+    names: List[str] = []
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return tuple(names)
+
+
+def _is_abstract(node: ast.ClassDef) -> bool:
+    for base in node.bases:
+        if isinstance(base, ast.Name) and base.id == "ABC":
+            return True
+        if isinstance(base, ast.Attribute) and base.attr in ("ABC", "ABCMeta"):
+            return True
+    for kw in node.keywords:
+        if kw.arg == "metaclass":
+            return True
+    for item in node.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for deco in item.decorator_list:
+                name = (
+                    deco.attr
+                    if isinstance(deco, ast.Attribute)
+                    else deco.id
+                    if isinstance(deco, ast.Name)
+                    else ""
+                )
+                if name in ("abstractmethod", "abstractproperty"):
+                    return True
+    return False
+
+
+def _registry_identifiers(ctx: FileContext) -> Set[str]:
+    """Every bare/attribute identifier the registry module references."""
+    names: Set[str] = set()
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                names.add(alias.name)
+    return names
+
+
+def _registry_keys(ctx: FileContext) -> List[Tuple[str, int]]:
+    """String keys of ``*_FACTORIES``-style dicts plus first-argument
+    string literals of ``register_*`` calls, with their line numbers."""
+    keys: List[Tuple[str, int]] = []
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                if isinstance(key, ast.Constant) and isinstance(
+                    key.value, str
+                ):
+                    keys.append((key.value, key.lineno))
+        elif isinstance(node, ast.Call):
+            func = node.func
+            name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr
+                if isinstance(func, ast.Attribute)
+                else ""
+            )
+            if name.startswith("register") and node.args:
+                first = node.args[0]
+                if isinstance(first, ast.Constant) and isinstance(
+                    first.value, str
+                ):
+                    keys.append((first.value, first.lineno))
+    return keys
+
+
+def check_rep002(
+    contexts: Sequence[FileContext], config: RuleConfig
+) -> List[Finding]:
+    findings: List[Finding] = []
+    packages: Dict[Path, List[FileContext]] = {}
+    for ctx in contexts:
+        if ctx.path.parent.name in (_ADVERSARY_DIR, _PROTOCOL_DIR):
+            packages.setdefault(ctx.path.parent, []).append(ctx)
+
+    docs_text = ""
+    if config.docs_dir is not None and config.docs_dir.is_dir():
+        docs_text = "\n".join(
+            p.read_text(encoding="utf-8", errors="replace")
+            for p in sorted(config.docs_dir.rglob("*.md"))
+        )
+
+    for pkg_dir, members in sorted(packages.items()):
+        registry_ctx = next(
+            (c for c in members if c.path.name == "registry.py"), None
+        )
+        registered: Set[str] = (
+            _registry_identifiers(registry_ctx) if registry_ctx else set()
+        )
+
+        classes: Dict[str, _ClassInfo] = {}
+        for ctx in members:
+            if ctx.path.name in ("registry.py", "__init__.py"):
+                continue
+            for node in ast.walk(ctx.tree):
+                if isinstance(node, ast.ClassDef):
+                    classes[node.name] = _ClassInfo(
+                        name=node.name,
+                        bases=_base_names(node),
+                        abstract=_is_abstract(node),
+                        ctx=ctx,
+                        lineno=node.lineno,
+                    )
+
+        def reaches_root(name: str, seen: Set[str]) -> bool:
+            if name in _REGISTRY_ROOTS:
+                return True
+            info = classes.get(name)
+            if info is None or name in seen:
+                return False
+            seen.add(name)
+            return any(reaches_root(base, seen) for base in info.bases)
+
+        for info in classes.values():
+            if info.abstract:
+                continue
+            if not any(reaches_root(base, set()) for base in info.bases):
+                continue
+            if info.name not in registered:
+                findings.append(
+                    Finding(
+                        rule="REP002",
+                        file=info.ctx.display_path,
+                        line=info.lineno,
+                        col=0,
+                        message=(
+                            f"concrete class {info.name!r} is not "
+                            f"referenced by {pkg_dir.name}/registry.py; "
+                            "register it (or mark it abstract)"
+                        ),
+                        symbol=info.name,
+                    )
+                )
+
+        if registry_ctx is not None and docs_text:
+            for key, lineno in _registry_keys(registry_ctx):
+                if key not in docs_text:
+                    findings.append(
+                        Finding(
+                            rule="REP002",
+                            file=registry_ctx.display_path,
+                            line=lineno,
+                            col=0,
+                            message=(
+                                f"registry name {key!r} appears nowhere "
+                                "under docs/; document it (see "
+                                "docs/registries.md)"
+                            ),
+                            symbol=key,
+                        )
+                    )
+    return findings

@@ -1,0 +1,242 @@
+"""Orchestration: walk paths, run rules, apply pragmas, render reports.
+
+Entry points::
+
+    python -m repro.lint src              # JSON report, exit 1 on findings
+    python -m repro.lint src --format text
+    python -m repro cli subcommand: ``repro lint src``
+
+The runner resolves the repo root (nearest ancestor of the first
+scanned path containing ``PAPER.md`` or ``pyproject.toml``) to locate
+``PAPER.md`` for REP004 and ``docs/`` for REP002; ``--paper`` /
+``--docs`` override the discovery, which the fixture-tree tests use.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from repro.lint.findings import Finding, LintReport, suppressions
+from repro.lint.rules import (
+    ALL_RULES,
+    FileContext,
+    RuleConfig,
+    check_rep001,
+    check_rep002,
+    check_rep003,
+    check_rep004,
+    paper_references,
+    parse_file,
+)
+
+__all__ = ["discover_root", "lint_paths", "main"]
+
+_PER_FILE_RULES = {
+    "REP001": check_rep001,
+    "REP003": check_rep003,
+    "REP004": check_rep004,
+}
+
+_ROOT_MARKERS = ("PAPER.md", "pyproject.toml", ".git")
+
+
+def discover_root(start: Path) -> Path:
+    """Nearest ancestor of ``start`` that looks like a repo root."""
+    probe = start.resolve()
+    if probe.is_file():
+        probe = probe.parent
+    for candidate in (probe, *probe.parents):
+        if any((candidate / marker).exists() for marker in _ROOT_MARKERS):
+            return candidate
+    return probe
+
+
+def _iter_py_files(paths: Sequence[Path]) -> Iterable[Path]:
+    seen = set()
+    for path in paths:
+        if path.is_file() and path.suffix == ".py":
+            files: Iterable[Path] = (path,)
+        elif path.is_dir():
+            files = sorted(path.rglob("*.py"))
+        else:
+            files = ()
+        for f in files:
+            if f not in seen:
+                seen.add(f)
+                yield f
+
+
+def _build_config(
+    root: Path,
+    *,
+    select: Sequence[str],
+    allow: Sequence[str],
+    paper: Optional[Path],
+    docs: Optional[Path],
+) -> RuleConfig:
+    paper_path = paper if paper is not None else root / "PAPER.md"
+    paper_refs = None
+    if paper_path.is_file():
+        paper_refs = paper_references(
+            paper_path.read_text(encoding="utf-8", errors="replace")
+        )
+    docs_dir = docs if docs is not None else root / "docs"
+    return RuleConfig(
+        allow_global_random=tuple(allow),
+        paper_refs=paper_refs,
+        docs_dir=docs_dir if docs_dir.is_dir() else None,
+        select=tuple(select),
+    )
+
+
+def lint_paths(
+    paths: Sequence[str],
+    *,
+    select: Sequence[str] = ALL_RULES,
+    allow: Sequence[str] = (),
+    paper: Optional[str] = None,
+    docs: Optional[str] = None,
+) -> LintReport:
+    """Lint ``paths`` and return the full report (no I/O besides reads)."""
+    resolved = [Path(p) for p in paths]
+    root = discover_root(resolved[0]) if resolved else Path.cwd()
+    config = _build_config(
+        root,
+        select=select,
+        allow=allow,
+        paper=Path(paper) if paper else None,
+        docs=Path(docs) if docs else None,
+    )
+
+    report = LintReport(rules_run=[r for r in ALL_RULES if r in config.select])
+    contexts: List[FileContext] = []
+    for file_path in _iter_py_files(resolved):
+        try:
+            display = str(file_path.relative_to(Path.cwd()))
+        except ValueError:
+            display = str(file_path)
+        ctx = parse_file(file_path, display)
+        report.files_scanned += 1
+        if ctx is None:
+            report.findings.append(
+                Finding(
+                    rule="REP000",
+                    file=display,
+                    line=1,
+                    col=0,
+                    message="file could not be read or parsed",
+                )
+            )
+            continue
+        contexts.append(ctx)
+
+    raw: List[Finding] = []
+    for ctx in contexts:
+        for rule_id, rule in _PER_FILE_RULES.items():
+            if rule_id in config.select:
+                raw.extend(rule(ctx, config))
+    if "REP002" in config.select:
+        raw.extend(check_rep002(contexts, config))
+
+    pragma_cache = {ctx.display_path: suppressions(ctx.source) for ctx in contexts}
+    for finding in raw:
+        suppressed = pragma_cache.get(finding.file, {}).get(finding.line, set())
+        if "all" in suppressed or finding.rule in suppressed:
+            continue
+        report.findings.append(finding)
+
+    report.findings.sort(key=lambda f: (f.file, f.line, f.col, f.rule))
+    return report
+
+
+def _render_text(report: LintReport) -> str:
+    lines = [f.render() for f in report.findings]
+    counts = report.counts_by_rule()
+    summary = (
+        f"repro.lint: {report.files_scanned} files scanned, "
+        f"{len(report.findings)} finding(s)"
+    )
+    if counts:
+        summary += " (" + ", ".join(
+            f"{rule}: {count}" for rule, count in sorted(counts.items())
+        ) + ")"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; exit 0 clean, 1 findings, 2 usage error."""
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description=(
+            "Repo-specific static analysis: REP001 no-global-RNG, "
+            "REP002 registry completeness, REP003 adversary-knowledge "
+            "boundary, REP004 paper-reference hygiene."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], help="files/directories to lint"
+    )
+    parser.add_argument(
+        "--format",
+        choices=("json", "text"),
+        default="json",
+        help="output format (default: json)",
+    )
+    parser.add_argument(
+        "--select",
+        default=",".join(ALL_RULES),
+        help="comma-separated rule ids to run",
+    )
+    parser.add_argument(
+        "--allow",
+        action="append",
+        default=[],
+        metavar="GLOB",
+        help="glob of paths exempt from REP001 (repeatable)",
+    )
+    parser.add_argument(
+        "--paper", default=None, help="override PAPER.md location (REP004)"
+    )
+    parser.add_argument(
+        "--docs", default=None, help="override docs/ location (REP002)"
+    )
+    args = parser.parse_args(argv)
+
+    select = tuple(
+        token.strip().upper()
+        for token in args.select.split(",")
+        if token.strip()
+    )
+    unknown = [rule for rule in select if rule not in ALL_RULES]
+    if unknown:
+        print(f"repro.lint: unknown rule(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        return 2
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        # A typo'd path must not read as a clean run in CI.
+        print(f"repro.lint: no such path(s): {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+
+    report = lint_paths(
+        args.paths,
+        select=select,
+        allow=args.allow,
+        paper=args.paper,
+        docs=args.docs,
+    )
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(_render_text(report))
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -27,7 +27,16 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Any, Dict, FrozenSet, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.errors import (
     BudgetExceededError,
@@ -35,6 +44,7 @@ from repro.errors import (
     ProtocolViolationError,
     TerminationViolation,
 )
+from repro.lint.sanitizer import SimSanitizer
 from repro.sim.model import (
     FailureDecision,
     ProcessCore,
@@ -118,6 +128,12 @@ class Engine:
             horizon".
         record_payloads: Store every round's payloads in the trace.
             Disable for long measurement runs to save memory.
+        sanitizer: Runtime model-contract monitor.  ``True`` builds a
+            default :class:`~repro.lint.sanitizer.SimSanitizer` (total
+            budget only); pass an instance (e.g.
+            ``SimSanitizer.lower_bound(n, t)``) to also enforce the
+            paper's per-round failure budget.  ``None`` (default)
+            disables the sanitizer entirely — zero overhead.
     """
 
     def __init__(
@@ -130,6 +146,7 @@ class Engine:
         max_rounds: Optional[int] = None,
         strict_termination: bool = True,
         record_payloads: bool = True,
+        sanitizer: Union[SimSanitizer, bool, None] = None,
     ) -> None:
         if n < 1:
             raise ConfigurationError(f"n must be >= 1, got {n}")
@@ -150,6 +167,9 @@ class Engine:
             )
         self.strict_termination = strict_termination
         self.record_payloads = record_payloads
+        if sanitizer is True:
+            sanitizer = SimSanitizer(n, adversary.t)
+        self.sanitizer: Optional[SimSanitizer] = sanitizer or None
 
     def run(self, inputs: Sequence[int]) -> ExecutionResult:
         """Execute the protocol on ``inputs`` and return the result.
@@ -171,6 +191,8 @@ class Engine:
                 f"expected {self.n} inputs, got {len(inputs)}"
             )
         master = random.Random(self.seed)
+        if self.sanitizer is not None:
+            self.sanitizer.begin_run()
         states: Dict[int, ProcessCore] = {}
         for pid in range(self.n):
             rng = random.Random(master.getrandbits(64))
@@ -259,6 +281,15 @@ class Engine:
                             f"round {round_index}"
                         )
                     halted_this_round.add(pid)
+
+            if self.sanitizer is not None:
+                self.sanitizer.observe_round(
+                    round_index,
+                    participants,
+                    victims,
+                    decided_this_round,
+                    halted_this_round,
+                )
 
             alive -= victims
             crashed |= victims

@@ -23,7 +23,7 @@ import abc
 import math
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -33,6 +33,7 @@ from repro.errors import (
     ConfigurationError,
     TerminationViolation,
 )
+from repro.lint.sanitizer import SimSanitizer
 from repro.protocols.synran import Stage, SynRanProtocol
 from repro.sim.engine import default_max_rounds
 
@@ -304,6 +305,10 @@ class FastEngine:
         seed: Master seed (process coins and adversary randomness).
         max_rounds: Horizon; ``None`` selects the engine default.
         strict_termination: Raise on horizon instead of flagging.
+        sanitizer: Runtime model-contract monitor.  ``True`` builds a
+            default :class:`~repro.lint.sanitizer.SimSanitizer`; pass
+            an instance to configure the per-round budget.  ``None``
+            (default) disables it — zero overhead.
     """
 
     def __init__(
@@ -315,6 +320,7 @@ class FastEngine:
         seed: Optional[int] = None,
         max_rounds: Optional[int] = None,
         strict_termination: bool = True,
+        sanitizer: Union[SimSanitizer, bool, None] = None,
     ) -> None:
         if not isinstance(protocol, SynRanProtocol):
             raise ConfigurationError(
@@ -335,6 +341,9 @@ class FastEngine:
             default_max_rounds(n) if max_rounds is None else max_rounds
         )
         self.strict_termination = strict_termination
+        if sanitizer is True:
+            sanitizer = SimSanitizer(n, adversary.t)
+        self.sanitizer: Optional[SimSanitizer] = sanitizer or None
 
     def run(self, inputs: Sequence[int]) -> FastResult:
         """Execute on the given input bits."""
@@ -347,6 +356,8 @@ class FastEngine:
         master = random.Random(self.seed)
         coin_gen = np.random.default_rng(master.getrandbits(64))
         self.adversary.reset(n, random.Random(master.getrandbits(64)))
+        if self.sanitizer is not None:
+            self.sanitizer.begin_run()
 
         b = np.asarray(inputs, dtype=np.int8).copy()
         if not np.isin(b, (0, 1)).all():
@@ -459,6 +470,11 @@ class FastEngine:
                     value = min(det_known) if det_known else 0
                     decision[receivers] = value
                     halted[receivers] = True
+
+            if self.sanitizer is not None:
+                self.sanitizer.observe_fast_round(
+                    r, p, k1 + k0, decisions=decision.tolist()
+                )
 
             if decision_round is None:
                 undecided_alive = alive & (decision < 0)

@@ -143,3 +143,40 @@ class ExecutionTrace:
         for record in self.rounds:
             out |= record.victims
         return frozenset(out)
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        """Canonical, order-stable dict form of the whole trace.
+
+        Sets are sorted and payloads rendered with ``repr`` (payload
+        types vary by protocol), so two executions produce *identical*
+        structures iff their traces match round for round — the basis
+        of the determinism regression tests and of trace export.
+        """
+        return {
+            "n": self.n,
+            "t": self.t,
+            "inputs": list(self.inputs),
+            "seed": self.seed,
+            "rounds": [
+                {
+                    "index": record.index,
+                    "senders": list(record.senders),
+                    "payloads": {
+                        str(pid): repr(record.payloads[pid])
+                        for pid in sorted(record.payloads)
+                    },
+                    "victims": sorted(record.victims),
+                    "withheld": {
+                        str(victim): sorted(record.withheld[victim])
+                        for victim in sorted(record.withheld)
+                    },
+                    "decided": {
+                        str(pid): record.decided_this_round[pid]
+                        for pid in sorted(record.decided_this_round)
+                    },
+                    "halted": sorted(record.halted_this_round),
+                    "alive_after": sorted(record.alive_after),
+                }
+                for record in self.rounds
+            ],
+        }

@@ -1,0 +1,24 @@
+"""Fixtures for REP002 (unregistered concrete class) and REP003
+(adversary peeks at a process's future coins)."""
+
+
+class Adversary:
+    """Stand-in root; concrete-subclass detection keys on this name."""
+
+    def __init__(self, t):
+        self.t = t
+
+
+class GoodAdversary(Adversary):
+    """Registered and well-behaved."""
+
+    def on_round(self, view):
+        return None
+
+
+class EvilAdversary(Adversary):  # <- REP002: not in registry.py
+    """Unregistered, and cheats by reading future coins."""
+
+    def on_round(self, view):
+        peek = view.states[0].rng.random()  # <- REP003
+        return None if peek < 0.5 else []

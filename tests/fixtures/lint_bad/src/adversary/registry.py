@@ -1,0 +1,7 @@
+"""Fixture registry: registers GoodAdversary only."""
+
+from adversary.evil import GoodAdversary
+
+_FACTORIES = {
+    "good": lambda n, t, proto: GoodAdversary(t),
+}

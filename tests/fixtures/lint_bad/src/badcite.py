@@ -1,0 +1,5 @@
+"""REP004 fixture: cites a result the paper does not contain."""
+
+
+class MisattributedBound:
+    """Implements the bound of Lemma 9.9 of the paper."""

@@ -1,0 +1,7 @@
+"""REP001 fixture: draws from the process-global RNG."""
+
+import random
+
+
+def noisy_estimate() -> float:
+    return random.random()  # <- REP001

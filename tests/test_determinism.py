@@ -1,0 +1,92 @@
+"""Seed determinism regression tests.
+
+The repo's claim is that ``--seed`` fully determines a run: the
+reference engine reproduces a *byte-identical* trace serialization,
+and the fast engine reproduces identical decisions and round counts.
+Every test runs the same configuration twice from scratch and compares.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.adversary.registry import available_adversaries, make_adversary
+from repro.coinflip.control import find_controllable_outcome
+from repro.coinflip.games import MajorityGame
+from repro.protocols import make_protocol
+from repro.sim.engine import Engine
+from repro.sim.fast import FastEngine, FastRandomCrash, FastTallyAttack
+from repro.protocols.synran import SynRanProtocol
+
+_PROTOCOL_FOR = {
+    "anti-beacon": "beacon-ran",
+    "benor-quorum": "benor",
+}
+# The exact-play adversary brute-forces the protocol tree; keep it off
+# the byte-identity matrix (covered at toy n by the sanitizer tests).
+_MATRIX = [a for a in available_adversaries() if a != "exact-stall"]
+
+
+def _reference_trace_bytes(adv_name, seed):
+    n, t = 16, 5
+    proto = make_protocol(_PROTOCOL_FOR.get(adv_name, "synran"), n, t)
+    adv = make_adversary(adv_name, n, t, proto)
+    engine = Engine(proto, adv, n, seed=seed, strict_termination=False)
+    result = engine.run([i % 2 for i in range(n)])
+    return json.dumps(result.trace.to_jsonable(), sort_keys=True).encode()
+
+
+class TestReferenceEngine:
+    @pytest.mark.parametrize("adv_name", _MATRIX)
+    def test_same_seed_byte_identical_trace(self, adv_name):
+        assert _reference_trace_bytes(adv_name, 42) == _reference_trace_bytes(
+            adv_name, 42
+        )
+
+    def test_different_seeds_diverge(self):
+        # Sanity check that the serialization actually carries the
+        # randomness (a constant function would pass the test above).
+        traces = {_reference_trace_bytes("random", seed) for seed in range(6)}
+        assert len(traces) > 1
+
+
+class TestFastEngine:
+    @pytest.mark.parametrize(
+        "adv_factory",
+        [lambda t: FastRandomCrash(t, rate=0.1), lambda t: FastTallyAttack(t)],
+        ids=["random", "tally"],
+    )
+    def test_same_seed_same_outcome(self, adv_factory):
+        n, t = 256, 64
+
+        def run():
+            engine = FastEngine(
+                SynRanProtocol(),
+                adv_factory(t),
+                n,
+                seed=23,
+                strict_termination=False,
+            )
+            r = engine.run([i % 2 for i in range(n)])
+            return (
+                r.rounds,
+                r.decision_round,
+                r.decision,
+                r.crashes_used,
+                tuple(r.crashes_per_round),
+                tuple(r.senders_per_round),
+            )
+
+        assert run() == run()
+
+
+class TestSeededHelpers:
+    def test_find_controllable_outcome_is_seed_deterministic(self):
+        def run():
+            report = find_controllable_outcome(
+                MajorityGame(64), 8, trials=40, rng=random.Random(9)
+            )
+            return (report.best_outcome, report.per_outcome)
+
+        assert run() == run()

@@ -73,6 +73,11 @@ ALL_MODULES = [
     "repro.harness.runner",
     "repro.harness.sweep",
     "repro.harness.workloads",
+    "repro.lint",
+    "repro.lint.findings",
+    "repro.lint.rules",
+    "repro.lint.runner",
+    "repro.lint.sanitizer",
 ]
 
 

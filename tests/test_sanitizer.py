@@ -1,0 +1,216 @@
+"""Tests for the runtime simulation sanitizer (``repro.lint.sanitizer``).
+
+The whole adversary registry runs clean under the sanitizer; broken
+adversaries (over-budget crash bursts, post-crash sends, revoked
+decisions) are caught with a structured report.
+"""
+
+import pytest
+
+from repro._math import adversary_round_budget
+from repro.adversary.registry import available_adversaries, make_adversary
+from repro.adversary.static import StaticAdversary
+from repro.errors import SanitizerViolationError
+from repro.lint import SimSanitizer
+from repro.protocols import make_protocol
+from repro.sim.engine import Engine
+from repro.sim.fast import (
+    FastBenign,
+    FastEngine,
+    FastOblivious,
+    FastRandomCrash,
+    FastTallyAttack,
+)
+from repro.adversary.oblivious import calibrated_drip_schedule
+from repro.protocols.synran import SynRanProtocol
+
+# Adversaries that attack a specific protocol get paired with it; the
+# exact-play adversary simulates the protocol tree, so it only scales
+# to toy n.
+_PROTOCOL_FOR = {
+    "anti-beacon": "beacon-ran",
+    "benor-quorum": "benor",
+}
+_SMALL_N = {"exact-stall": (3, 1)}
+
+
+class TestAdversaryMatrixClean:
+    @pytest.mark.parametrize("name", available_adversaries())
+    def test_registry_adversary_passes_sanitizer(self, name):
+        n, t = _SMALL_N.get(name, (16, 5))
+        proto = make_protocol(_PROTOCOL_FOR.get(name, "synran"), n, t)
+        adv = make_adversary(name, n, t, proto)
+        san = SimSanitizer(n, t, mode="collect")
+        engine = Engine(
+            proto, adv, n, seed=7, strict_termination=False, sanitizer=san
+        )
+        engine.run([i % 2 for i in range(n)])
+        assert san.ok, san.report()
+        report = san.report()
+        assert report["ok"] is True
+        assert report["violations"] == []
+        assert report["crashes_total"] <= t
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_sanitizer_true_flag_builds_default(self, seed):
+        n, t = 16, 5
+        proto = SynRanProtocol()
+        adv = make_adversary("tally-attack", n, t, proto)
+        engine = Engine(proto, adv, n, seed=seed, sanitizer=True)
+        engine.run([i % 2 for i in range(n)])
+        assert engine.sanitizer is not None and engine.sanitizer.ok
+
+    def test_lower_bound_budget_accepts_real_adversaries(self):
+        n, t = 64, 20
+        proto = SynRanProtocol()
+        adv = make_adversary("burst", n, t, proto)
+        san = SimSanitizer.lower_bound(n, t, mode="collect")
+        Engine(
+            proto, adv, n, seed=3, strict_termination=False, sanitizer=san
+        ).run([i % 2 for i in range(n)])
+        assert san.ok, san.report()
+
+
+class TestFastMatrixClean:
+    @pytest.mark.parametrize(
+        "adv_factory",
+        [
+            lambda t: FastBenign(),
+            lambda t: FastRandomCrash(t, rate=0.05),
+            lambda t: FastTallyAttack(t),
+            lambda t: FastOblivious.from_schedule(t, calibrated_drip_schedule),
+        ],
+        ids=["benign", "random", "tally", "oblivious"],
+    )
+    def test_fast_adversary_passes_sanitizer(self, adv_factory):
+        n, t = 256, 64
+        san = SimSanitizer(n, t, mode="collect")
+        engine = FastEngine(
+            SynRanProtocol(),
+            adv_factory(t),
+            n,
+            seed=11,
+            strict_termination=False,
+            sanitizer=san,
+        )
+        engine.run([i % 2 for i in range(n)])
+        assert san.ok, san.report()
+        assert san.report()["rounds_observed"] >= 1
+
+
+class TestBrokenAdversaryCaught:
+    def test_per_round_budget_violation_raises_with_report(self):
+        n = 256
+        cap = adversary_round_budget(n) + 1
+        burst = cap + 5
+        # Crash `burst` processes in round 1 — legal for a general
+        # adversary (burst <= t), illegal under the Lemma 3.1 cap.
+        schedule = {1: list(range(burst))}
+        adv = StaticAdversary(n, schedule=schedule)
+        san = SimSanitizer.lower_bound(n, n)
+        engine = Engine(
+            SynRanProtocol(),
+            adv,
+            n,
+            seed=5,
+            strict_termination=False,
+            sanitizer=san,
+        )
+        with pytest.raises(SanitizerViolationError) as excinfo:
+            engine.run([i % 2 for i in range(n)])
+        err = excinfo.value
+        assert err.violation is not None
+        assert err.violation.check == "per-round-budget"
+        assert err.violation.round_index == 1
+        assert err.report is not None and err.report["ok"] is False
+        assert err.report["violations"][0]["check"] == "per-round-budget"
+
+    def test_send_after_crash_caught(self):
+        san = SimSanitizer(4, 2, mode="collect")
+        san.observe_round(1, senders=[0, 1, 2, 3], victims=[2], decided={})
+        san.observe_round(2, senders=[0, 1, 2, 3], victims=[], decided={})
+        assert not san.ok
+        assert san.violations[0].check == "fail-stop"
+        assert san.violations[0].pids == (2,)
+
+    def test_halted_process_sending_caught(self):
+        san = SimSanitizer(4, 2, mode="collect")
+        san.observe_round(
+            1, senders=[0, 1, 2, 3], victims=[], decided={}, halted=[3]
+        )
+        san.observe_round(2, senders=[1, 3], victims=[], decided={})
+        assert [v.check for v in san.violations] == ["halted-sends"]
+
+    def test_double_crash_and_ghost_victims_caught(self):
+        san = SimSanitizer(4, 4, mode="collect")
+        san.observe_round(1, senders=[0, 1, 2, 3], victims=[0], decided={})
+        san.observe_round(2, senders=[1, 2, 3], victims=[0, 9], decided={})
+        checks = sorted(v.check for v in san.violations)
+        assert checks == ["invalid-victim", "invalid-victim"]
+
+    def test_total_budget_violation_caught(self):
+        san = SimSanitizer(4, 1, mode="collect")
+        san.observe_round(1, senders=[0, 1, 2, 3], victims=[0, 1], decided={})
+        assert [v.check for v in san.violations] == ["total-budget"]
+
+    def test_decision_revocation_caught(self):
+        san = SimSanitizer(4, 2, mode="collect")
+        san.observe_round(1, senders=[0, 1, 2, 3], victims=[], decided={0: 1})
+        san.observe_round(2, senders=[0, 1, 2, 3], victims=[], decided={0: 0})
+        assert [v.check for v in san.violations] == ["decision-irrevocability"]
+        assert "re-decided" in san.violations[0].message
+
+    def test_round_monotonicity_caught(self):
+        san = SimSanitizer(4, 2, mode="collect")
+        san.observe_round(2, senders=[0, 1], victims=[], decided={})
+        san.observe_round(2, senders=[0, 1], victims=[], decided={})
+        assert [v.check for v in san.violations] == ["round-monotonicity"]
+
+    def test_raise_mode_fails_fast(self):
+        san = SimSanitizer(4, 2)
+        san.observe_round(1, senders=[0, 1, 2, 3], victims=[3], decided={})
+        with pytest.raises(SanitizerViolationError):
+            san.observe_round(2, senders=[3], victims=[], decided={})
+
+
+class TestFastObservations:
+    def test_resurrected_senders_caught(self):
+        san = SimSanitizer(8, 4, mode="collect")
+        san.observe_fast_round(1, senders=8, crashes=2)
+        san.observe_fast_round(2, senders=7, crashes=0)
+        assert [v.check for v in san.violations] == ["fail-stop"]
+
+    def test_impossible_crash_count_caught(self):
+        san = SimSanitizer(8, 8, mode="collect")
+        san.observe_fast_round(1, senders=3, crashes=5)
+        assert "invalid-victim" in [v.check for v in san.violations]
+
+    def test_fast_decision_flip_caught(self):
+        san = SimSanitizer(3, 1, mode="collect")
+        san.observe_fast_round(1, senders=3, crashes=0, decisions=[1, -1, -1])
+        san.observe_fast_round(2, senders=3, crashes=0, decisions=[0, -1, -1])
+        assert [v.check for v in san.violations] == ["decision-irrevocability"]
+        assert san.violations[0].pids == (0,)
+
+    def test_begin_run_resets_state(self):
+        san = SimSanitizer(8, 4, mode="collect")
+        san.observe_fast_round(1, senders=8, crashes=5)
+        assert not san.ok
+        san.begin_run()
+        assert san.ok and san.report()["rounds_observed"] == 0
+
+
+class TestReportShape:
+    def test_report_is_jsonable_and_complete(self):
+        import json
+
+        san = SimSanitizer(4, 2, per_round_budget=1, mode="collect")
+        san.observe_round(1, senders=[0, 1, 2, 3], victims=[0, 1], decided={})
+        payload = json.loads(json.dumps(san.report()))
+        assert payload["ok"] is False
+        assert payload["n"] == 4 and payload["t"] == 2
+        assert payload["per_round_budget"] == 1
+        violation = payload["violations"][0]
+        assert set(violation) == {"check", "round", "message", "pids"}
+        assert violation["check"] == "per-round-budget"
+        assert violation["round"] == 1
