@@ -3,7 +3,7 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: lint replint ruff test bench check
+.PHONY: lint replint ruff test bench check experiments-quick
 
 # Repo-specific static analysis (REP001-REP004).
 replint:
@@ -27,5 +27,10 @@ test:
 
 bench:
 	python -m pytest benchmarks/ --benchmark-only
+
+# Fast end-to-end smoke of the parallel executor + result cache on the
+# two headline experiments.  Cached under .repro-cache/ (resumable).
+experiments-quick:
+	python -m repro.harness.experiments --only E5,E6 --workers 2
 
 check: lint test

@@ -1,0 +1,76 @@
+"""Executor-core benchmark: serial vs process-pool vs warm cache.
+
+Not an experiment table — this measures the execution substrate
+itself on a fixed fast-engine grid (the E5-style synran/tally-attack
+cells) and asserts the core contracts end to end: parallel execution
+returns byte-identical outcomes, and a warm cache answers without
+re-running a single trial.
+
+Run with::
+
+    pytest benchmarks/bench_exec.py --benchmark-only
+"""
+
+from repro.harness.exec import (
+    ENGINE_FAST,
+    ExecutionPlan,
+    ParallelExecutor,
+    ResultCache,
+    SerialExecutor,
+    TrialBatch,
+    TrialSpec,
+)
+
+
+def _plan() -> ExecutionPlan:
+    return ExecutionPlan(
+        batches=tuple(
+            TrialBatch(
+                spec=TrialSpec(
+                    protocol="synran",
+                    adversary="tally-attack",
+                    n=n,
+                    t=n,
+                    inputs="worst",
+                    engine=ENGINE_FAST,
+                ),
+                trials=8,
+                base_seed=101,
+                label=f"bench-exec/n={n}",
+            )
+            for n in (128, 256, 512)
+        )
+    )
+
+
+def test_serial_executor(benchmark):
+    results = benchmark.pedantic(
+        lambda: SerialExecutor().run_plan(_plan()), rounds=1, iterations=1
+    )
+    assert len(results) == 3
+
+
+def test_parallel_executor_matches_serial(benchmark):
+    plan = _plan()
+
+    def run():
+        with ParallelExecutor(2) as executor:
+            return [executor.run_outcomes(b) for b in plan]
+
+    parallel = benchmark.pedantic(run, rounds=1, iterations=1)
+    serial = [SerialExecutor().run_outcomes(b) for b in plan]
+    assert parallel == serial
+
+
+def test_warm_cache_skips_execution(benchmark, tmp_path):
+    plan = _plan()
+    SerialExecutor(cache=ResultCache(tmp_path)).run_plan(plan)
+
+    def resume():
+        executor = SerialExecutor(cache=ResultCache(tmp_path))
+        executor.run_plan(plan)
+        return executor
+
+    warm = benchmark.pedantic(resume, rounds=1, iterations=1)
+    assert warm.cache_hits == len(plan)
+    assert warm.cache_misses == 0

@@ -7,10 +7,17 @@ Subcommands:
 * ``coin`` — measure one-round game control probabilities (§2).
 * ``valency`` — exact valency scan of a tiny system (§3.2).
 * ``bounds`` — evaluate the paper's closed-form bounds at (n, t).
+* ``sweep`` — a (protocol, adversary, n) grid on the reference engine,
+  exported as a table, CSV, or JSON.
 * ``experiments`` — the E1..E10 claim-reproduction suite (delegates
   to :mod:`repro.harness.experiments`).
 * ``lint`` — the repo-specific static-analysis pass (REP001–REP004;
   delegates to :mod:`repro.lint`).
+
+``run``, ``sweep``, and ``experiments`` execute through the
+:mod:`repro.harness.exec` core, so they share ``--workers N`` (process
+parallelism) and the result-cache knobs (``--cache``/``--no-cache``,
+``--cache-dir``).
 """
 
 from __future__ import annotations
@@ -24,7 +31,7 @@ from repro._math import (
     adversary_round_budget,
     deterministic_stage_threshold,
 )
-from repro.adversary.registry import available_adversaries, make_adversary
+from repro.adversary.registry import available_adversaries
 from repro.analysis.bounds import (
     expected_rounds_theta,
     lower_bound_rounds_thm1,
@@ -43,20 +50,21 @@ from repro.coinflip.library_games import (
     ThresholdGame,
     TribesGame,
 )
-from repro.errors import ConfigurationError, ReproError
-from repro.harness.report import Table, render_table
-from repro.harness.runner import run_reference_trials
-from repro.harness.workloads import (
-    half_split,
-    random_inputs,
-    unanimous,
-    worst_case_split,
+from repro.errors import ReproError
+from repro.harness.exec import (
+    Executor,
+    ResultCache,
+    TrialBatch,
+    TrialSpec,
+    available_input_kinds,
+    build_protocol,
+    make_executor,
 )
+from repro.harness.report import Table, render_table
+from repro.harness.sweep import Sweep, run_sweep
 from repro.protocols.registry import available_protocols, make_protocol
 
 __all__ = ["main", "build_parser"]
-
-_INPUT_KINDS = ("unanimous0", "unanimous1", "half", "worst", "random")
 
 _GAMES = {
     "majority": lambda n: MajorityGame(n),
@@ -69,38 +77,38 @@ _GAMES = {
 }
 
 
-def _inputs_factory(kind: str, n: int):
-    if kind == "unanimous0":
-        return lambda rng: unanimous(n, 0)
-    if kind == "unanimous1":
-        return lambda rng: unanimous(n, 1)
-    if kind == "half":
-        return lambda rng: half_split(n)
-    if kind == "worst":
-        return lambda rng: worst_case_split(n)
-    if kind == "random":
-        return lambda rng: random_inputs(n, rng)
-    raise ConfigurationError(f"unknown input kind {kind!r}")
-
-
 # ----------------------------------------------------------------------
 # subcommand implementations
 # ----------------------------------------------------------------------
 
 
+def _make_executor(args: argparse.Namespace, *, cache_on: bool) -> Executor:
+    """Build the executor shared by run/sweep/experiments from flags."""
+    cache = ResultCache(args.cache_dir) if cache_on else None
+    return make_executor(args.workers, cache=cache)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     n, t = args.n, args.t if args.t is not None else args.n
-    protocol_probe = make_protocol(args.protocol, n, t)
-
-    stats = run_reference_trials(
-        lambda: make_protocol(args.protocol, n, t),
-        lambda: make_adversary(args.adversary, n, t, protocol_probe),
-        n,
-        _inputs_factory(args.inputs, n),
-        trials=args.trials,
-        base_seed=args.seed,
-        strict_termination=False,
+    spec = TrialSpec(
+        protocol=args.protocol,
+        adversary=args.adversary,
+        n=n,
+        t=t,
+        inputs=args.inputs,
     )
+    # Fail fast on bad (protocol, n, t) combinations before any worker
+    # is spawned (e.g. benor requires t < n/2).
+    build_protocol(spec)
+    with _make_executor(args, cache_on=args.cache) as executor:
+        stats = executor.run_batch(
+            TrialBatch(
+                spec=spec,
+                trials=args.trials,
+                base_seed=args.seed,
+                label="cli-run",
+            )
+        )
     summary = stats.rounds_summary()
     table = Table(
         title=(
@@ -207,12 +215,69 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return lint_main(forwarded)
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.harness.export import sweep_to_csv, sweep_to_json, write_text
+
+    protocols = tuple(p for p in args.protocols.split(",") if p)
+    adversaries = tuple(a for a in args.adversaries.split(",") if a)
+    ns = tuple(int(n) for n in args.ns.split(",") if n)
+    t_frac = args.t_frac
+    sweep = Sweep(
+        protocols=protocols,
+        adversaries=adversaries,
+        ns=ns,
+        t_of=lambda n: max(0, min(n, int(n * t_frac))),
+        trials=args.trials,
+        base_seed=args.seed,
+        inputs=args.inputs,
+    )
+    with _make_executor(args, cache_on=not args.no_cache) as executor:
+        results = run_sweep(sweep, executor=executor)
+        hits, misses = executor.cache_hits, executor.cache_misses
+    if args.format == "csv":
+        rendered = sweep_to_csv(results)
+    elif args.format == "json":
+        rendered = sweep_to_json(results)
+    else:
+        table = Table(
+            title=(
+                f"sweep: {len(results)} cells, t = {t_frac:g}*n, "
+                f"trials={args.trials}"
+            ),
+            columns=[
+                "protocol", "adversary", "n", "t", "mean rounds",
+                "timeouts", "violations",
+            ],
+        )
+        for r in results:
+            table.add_row(
+                r.protocol, r.adversary, r.n, r.t, r.mean_rounds,
+                r.timeouts, r.violations,
+            )
+        if not args.no_cache:
+            table.add_note(
+                f"cache: {hits} cell(s) resumed, {misses} computed"
+            )
+        rendered = render_table(table)
+    if args.output:
+        path = write_text(args.output, rendered)
+        print(f"wrote {path}")
+    else:
+        print(rendered)
+    return 0
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.harness.experiments import main as experiments_main
 
     forwarded: List[str] = ["--scale", args.scale]
     if args.only:
         forwarded += ["--only", *args.only]
+    forwarded += ["--workers", str(args.workers)]
+    if args.no_cache:
+        forwarded.append("--no-cache")
+    if args.cache_dir:
+        forwarded += ["--cache-dir", args.cache_dir]
     return experiments_main(forwarded)
 
 
@@ -239,9 +304,16 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--n", type=int, default=64)
     run.add_argument("--t", type=int, default=None,
                      help="crash budget (default: n)")
-    run.add_argument("--inputs", choices=_INPUT_KINDS, default="worst")
+    run.add_argument("--inputs", choices=available_input_kinds(),
+                     default="worst")
     run.add_argument("--trials", type=int, default=5)
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--workers", type=int, default=1,
+                     help="worker processes (1 = serial)")
+    run.add_argument("--cache", action="store_true",
+                     help="reuse/store results in the on-disk cache")
+    run.add_argument("--cache-dir", default=None,
+                     help="result-cache directory (default: .repro-cache)")
     run.set_defaults(func=_cmd_run)
 
     coin = sub.add_parser("coin", help="one-round game control (§2)")
@@ -267,11 +339,44 @@ def build_parser() -> argparse.ArgumentParser:
     bounds.add_argument("--t", type=int, required=True)
     bounds.set_defaults(func=_cmd_bounds)
 
+    sweep = sub.add_parser(
+        "sweep", help="a (protocol, adversary, n) grid on the reference engine"
+    )
+    sweep.add_argument("--protocols", default="synran",
+                       help="comma-separated protocol names")
+    sweep.add_argument("--adversaries", default="benign,tally-attack",
+                       help="comma-separated adversary names")
+    sweep.add_argument("--ns", default="16,32",
+                       help="comma-separated system sizes")
+    sweep.add_argument("--t-frac", type=float, default=0.5,
+                       help="crash budget as a fraction of n")
+    sweep.add_argument("--inputs", choices=available_input_kinds(),
+                       default="worst")
+    sweep.add_argument("--trials", type=int, default=5)
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--format", choices=("table", "csv", "json"),
+                       default="table")
+    sweep.add_argument("--output", default=None,
+                       help="write the rendered output to this path")
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="worker processes (1 = serial)")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="recompute every cell (cache is on by default)")
+    sweep.add_argument("--cache-dir", default=None,
+                       help="result-cache directory (default: .repro-cache)")
+    sweep.set_defaults(func=_cmd_sweep)
+
     exp = sub.add_parser(
         "experiments", help="the E1..E10 claim-reproduction suite"
     )
     exp.add_argument("--scale", choices=("quick", "full"), default="quick")
     exp.add_argument("--only", nargs="*", default=None)
+    exp.add_argument("--workers", type=int, default=1,
+                     help="worker processes (1 = serial)")
+    exp.add_argument("--no-cache", action="store_true",
+                     help="recompute every batch (cache is on by default)")
+    exp.add_argument("--cache-dir", default=None,
+                     help="result-cache directory (default: .repro-cache)")
     exp.set_defaults(func=_cmd_experiments)
 
     lint = sub.add_parser(

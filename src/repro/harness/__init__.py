@@ -7,11 +7,29 @@ quantitative statements of its lemmas and theorems; each function in
 table.  Run them all from the command line::
 
     python -m repro.harness.experiments            # quick scale
-    python -m repro.harness.experiments --scale full
+    python -m repro.harness.experiments --workers 4  # parallel + cached
+
+Trial execution is layered on :mod:`repro.harness.exec`: declarative
+:class:`TrialSpec`/:class:`TrialBatch` descriptions, pluggable serial
+and process-pool executors, and a content-addressed result cache (see
+``docs/harness.md``).
 """
 
+from repro.harness.exec import (
+    ExecutionPlan,
+    Executor,
+    ParallelExecutor,
+    ResultCache,
+    SerialExecutor,
+    TrialBatch,
+    TrialOutcome,
+    TrialSpec,
+    make_executor,
+    spec_params,
+)
 from repro.harness.report import Table, render_table
 from repro.harness.runner import TrialStats, run_reference_trials, run_fast_trials
+from repro.harness.sweep import Sweep, SweepResult, run_sweep, sweep_plan
 from repro.harness.workloads import (
     half_split,
     random_inputs,
@@ -20,13 +38,27 @@ from repro.harness.workloads import (
 )
 
 __all__ = [
+    "ExecutionPlan",
+    "Executor",
+    "ParallelExecutor",
+    "ResultCache",
+    "SerialExecutor",
+    "Sweep",
+    "SweepResult",
     "Table",
+    "TrialBatch",
+    "TrialOutcome",
+    "TrialSpec",
     "TrialStats",
     "half_split",
+    "make_executor",
     "random_inputs",
     "render_table",
     "run_fast_trials",
     "run_reference_trials",
+    "run_sweep",
+    "spec_params",
+    "sweep_plan",
     "unanimous",
     "worst_case_split",
 ]

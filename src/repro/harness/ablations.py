@@ -15,7 +15,10 @@ or varied:
 * **A4 — attack-mode decomposition**: split mode alone, bleed mode
   alone, and both, quantifying which mode buys the stall.
 
-Run from the benchmark suite (``bench_a*.py``) or directly::
+Like the experiment suite, every ablation describes its trials as
+:class:`~repro.harness.exec.spec.TrialSpec` batches and accepts an
+optional ``executor`` for parallel/cached execution.  Run from the
+benchmark suite (``bench_a*.py``) or directly::
 
     python -c "from repro.harness.ablations import *; ..."
 """
@@ -23,24 +26,19 @@ Run from the benchmark suite (``bench_a*.py``) or directly::
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, List
+from typing import Callable, Dict, Optional
 
-from repro.adversary import (
-    BenignAdversary,
-    RandomCrashAdversary,
-    StaticAdversary,
-    TallyAttackAdversary,
-)
 from repro.errors import ConfigurationError
-from repro.harness.report import Table
-from repro.harness.runner import run_fast_trials, run_reference_trials
-from repro.harness.workloads import unanimous, worst_case_split
-from repro.protocols import (
-    GPHybridProtocol,
-    SymmetricRanProtocol,
-    SynRanProtocol,
+from repro.harness.exec import (
+    ENGINE_FAST,
+    Executor,
+    SerialExecutor,
+    TrialBatch,
+    TrialSpec,
+    spec_params,
 )
-from repro.sim.fast import FastTallyAttack
+from repro.harness.report import Table
+from repro.harness.runner import TrialStats
 
 __all__ = [
     "ablation_a1_one_side_bias",
@@ -58,12 +56,28 @@ def _check_scale(scale: str) -> None:
         )
 
 
+def _run(
+    spec: TrialSpec,
+    *,
+    trials: int,
+    base_seed: int,
+    executor: Optional[Executor] = None,
+    label: str = "",
+) -> TrialStats:
+    batch = TrialBatch(
+        spec=spec, trials=trials, base_seed=base_seed, label=label
+    )
+    return (executor or SerialExecutor()).run_batch(batch)
+
+
 # ----------------------------------------------------------------------
 # A1 — one-side bias
 # ----------------------------------------------------------------------
 
 
-def ablation_a1_one_side_bias(scale: str = "quick") -> Table:
+def ablation_a1_one_side_bias(
+    scale: str = "quick", *, executor: Optional[Executor] = None
+) -> Table:
     """Delete ``Z == 0 => b = 1`` and measure speed and safety."""
     _check_scale(scale)
     n = 48 if scale == "quick" else 96
@@ -82,30 +96,35 @@ def ablation_a1_one_side_bias(scale: str = "quick") -> Table:
     scenarios = [
         (
             "tally-attack, t=n, split inputs",
-            lambda: TallyAttackAdversary(n),
-            lambda rng: worst_case_split(n),
+            "tally-attack",
+            n,
+            "worst",
+            (),
         ),
         (
             "mass-crash, unanimous-1",
-            lambda: StaticAdversary(
-                t=kill, schedule={0: list(range(kill))}
-            ),
-            lambda rng: unanimous(n, 1),
+            "static-mass-crash",
+            kill,
+            "unanimous1",
+            (),
         ),
     ]
-    for variant, proto_factory in (
-        ("synran", lambda: SynRanProtocol()),
-        ("symmetric-ran", lambda: SymmetricRanProtocol()),
-    ):
-        for label, adv_factory, inputs_factory in scenarios:
-            stats = run_reference_trials(
-                proto_factory,
-                adv_factory,
-                n,
-                inputs_factory,
+    for variant in ("synran", "symmetric-ran"):
+        for label, adv_name, t, inputs, adv_params in scenarios:
+            stats = _run(
+                TrialSpec(
+                    protocol=variant,
+                    adversary=adv_name,
+                    n=n,
+                    t=t,
+                    inputs=inputs,
+                    adversary_params=adv_params,
+                    max_rounds=8 * n + 64,
+                ),
                 trials=trials,
                 base_seed=601,
-                max_rounds=8 * n + 64,
+                executor=executor,
+                label=f"A1/{variant}/{adv_name}",
             )
             decisions = {d for d in stats.decisions if d is not None}
             table.add_row(
@@ -128,7 +147,9 @@ def ablation_a1_one_side_bias(scale: str = "quick") -> Table:
 # ----------------------------------------------------------------------
 
 
-def ablation_a2_det_handoff(scale: str = "quick") -> Table:
+def ablation_a2_det_handoff(
+    scale: str = "quick", *, executor: Optional[Executor] = None
+) -> Table:
     """Survivor-count trigger vs none vs [GP90] round-number trigger."""
     _check_scale(scale)
     n = 48 if scale == "quick" else 96
@@ -143,29 +164,39 @@ def ablation_a2_det_handoff(scale: str = "quick") -> Table:
                  "violations"],
     )
     variants = [
-        ("synran (survivor-count)", lambda: SynRanProtocol()),
-        ("synran-nodet (no hand-off)", lambda: SynRanProtocol(
-            det_handoff=False)),
+        ("synran (survivor-count)", "synran", ()),
+        ("synran-nodet (no hand-off)", "synran-nodet", ()),
         (
             "gp-hybrid (round-number)",
-            lambda: GPHybridProtocol.for_resilience(n, t, random_rounds=4),
+            "gp-hybrid",
+            spec_params(random_rounds=4),
         ),
     ]
     adversaries = [
-        ("benign", lambda: BenignAdversary()),
-        ("burst", lambda: RandomCrashAdversary(
-            t, rate=0.0, burst_probability=1.0)),
+        ("benign", "benign", ()),
+        (
+            "burst",
+            "random",
+            spec_params(rate=0.0, burst_probability=1.0),
+        ),
     ]
-    for vname, proto_factory in variants:
-        for aname, adv_factory in adversaries:
-            stats = run_reference_trials(
-                proto_factory,
-                adv_factory,
-                n,
-                lambda rng: worst_case_split(n),
+    for vname, proto_name, proto_params in variants:
+        for aname, adv_name, adv_params in adversaries:
+            stats = _run(
+                TrialSpec(
+                    protocol=proto_name,
+                    adversary=adv_name,
+                    n=n,
+                    t=t,
+                    inputs="worst",
+                    protocol_params=proto_params,
+                    adversary_params=adv_params,
+                    max_rounds=8 * n + 64,
+                ),
                 trials=trials,
                 base_seed=607,
-                max_rounds=8 * n + 64,
+                executor=executor,
+                label=f"A2/{proto_name}/{aname}",
             )
             table.add_row(
                 vname,
@@ -189,7 +220,9 @@ def ablation_a2_det_handoff(scale: str = "quick") -> Table:
 # ----------------------------------------------------------------------
 
 
-def ablation_a3_stop_rule(scale: str = "quick") -> Table:
+def ablation_a3_stop_rule(
+    scale: str = "quick", *, executor: Optional[Executor] = None
+) -> Table:
     """Sweep the STOP fraction; stall length and the safety margin."""
     _check_scale(scale)
     n = 512 if scale == "quick" else 2048
@@ -206,13 +239,21 @@ def ablation_a3_stop_rule(scale: str = "quick") -> Table:
         ],
     )
     for fraction in fractions:
-        stats = run_fast_trials(
-            lambda f=fraction: SynRanProtocol(stop_fraction=f),
-            lambda f=fraction: FastTallyAttack(n, stop_fraction=f),
-            n,
-            lambda rng: worst_case_split(n),
+        stats = _run(
+            TrialSpec(
+                protocol="synran",
+                adversary="tally-attack",
+                n=n,
+                t=n,
+                inputs="worst",
+                protocol_params=spec_params(stop_fraction=fraction),
+                adversary_params=spec_params(stop_fraction=fraction),
+                engine=ENGINE_FAST,
+            ),
             trials=trials,
             base_seed=613,
+            executor=executor,
+            label=f"A3/f={fraction}",
         )
         table.add_row(
             fraction,
@@ -234,7 +275,9 @@ def ablation_a3_stop_rule(scale: str = "quick") -> Table:
 # ----------------------------------------------------------------------
 
 
-def ablation_a4_attack_modes(scale: str = "quick") -> Table:
+def ablation_a4_attack_modes(
+    scale: str = "quick", *, executor: Optional[Executor] = None
+) -> Table:
     """Split-only vs bleed-only vs combined tally attack."""
     _check_scale(scale)
     n = 1024 if scale == "quick" else 4096
@@ -244,27 +287,25 @@ def ablation_a4_attack_modes(scale: str = "quick") -> Table:
         columns=["mode", "mean rounds", "ci95", "crashes used"],
     )
     modes = [
-        ("split-only", dict(enable_bleed=False)),
-        ("bleed-only", dict(enable_split=False)),
-        ("combined", dict()),
-        ("none (benign)", None),
+        ("split-only", "tally-split-only"),
+        ("bleed-only", "tally-bleed-only"),
+        ("combined", "tally-attack"),
+        ("none (benign)", "benign"),
     ]
-    for label, kwargs in modes:
-        if kwargs is None:
-            from repro.sim.fast import FastBenign
-
-            adv_factory = lambda: FastBenign()
-        else:
-            adv_factory = lambda kwargs=kwargs: FastTallyAttack(
-                n, **kwargs
-            )
-        stats = run_fast_trials(
-            SynRanProtocol,
-            adv_factory,
-            n,
-            lambda rng: worst_case_split(n),
+    for label, adv_name in modes:
+        stats = _run(
+            TrialSpec(
+                protocol="synran",
+                adversary=adv_name,
+                n=n,
+                t=n,
+                inputs="worst",
+                engine=ENGINE_FAST,
+            ),
             trials=trials,
             base_seed=617,
+            executor=executor,
+            label=f"A4/{label}",
         )
         summary = stats.rounds_summary()
         table.add_row(
@@ -281,7 +322,7 @@ def ablation_a4_attack_modes(scale: str = "quick") -> Table:
     return table
 
 
-ALL_ABLATIONS: Dict[str, Callable[[str], Table]] = {
+ALL_ABLATIONS: Dict[str, Callable[..., Table]] = {
     "A1": ablation_a1_one_side_bias,
     "A2": ablation_a2_det_handoff,
     "A3": ablation_a3_stop_rule,

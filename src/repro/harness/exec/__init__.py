@@ -1,0 +1,86 @@
+"""Declarative trial execution: specs, executors, and the result cache.
+
+This subpackage is the execution core the rest of the harness sits on.
+It separates *what* to run from *how* to run it:
+
+* :mod:`repro.harness.exec.spec` — :class:`TrialSpec` (one frozen,
+  hashable, picklable trial configuration), :class:`TrialBatch` (a spec
+  plus a trial count and base seed), :class:`ExecutionPlan` (an ordered
+  collection of batches), and the hash-based per-trial seed derivation.
+* :mod:`repro.harness.exec.builders` — name-based construction of
+  protocols, adversaries, and input vectors from a spec; everything a
+  worker process needs is importable, so specs cross process
+  boundaries without pickling closures.
+* :mod:`repro.harness.exec.trial` — the single-trial execution
+  functions shared by every driver, and :class:`TrialOutcome`, the
+  JSON-serialisable per-trial record.
+* :mod:`repro.harness.exec.executor` — the :class:`Executor` interface
+  with :class:`SerialExecutor` and the process-pool
+  :class:`ParallelExecutor`; outcomes are byte-identical regardless of
+  worker count or chunking.
+* :mod:`repro.harness.exec.cache` — :class:`ResultCache`, the
+  content-addressed on-disk store that makes interrupted sweeps and
+  experiment grids resumable.
+
+See ``docs/harness.md`` for the architecture and the seed-derivation
+compatibility note.
+"""
+
+from repro.harness.exec.builders import (
+    available_fast_adversaries,
+    available_input_kinds,
+    build_adversary,
+    build_fast_adversary,
+    build_inputs,
+    build_protocol,
+)
+from repro.harness.exec.cache import ResultCache, cache_salt
+from repro.harness.exec.executor import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    make_executor,
+)
+from repro.harness.exec.spec import (
+    ENGINE_FAST,
+    ENGINE_KINDS,
+    ENGINE_REFERENCE,
+    ExecutionPlan,
+    TrialBatch,
+    TrialSpec,
+    derive_trial_seed,
+    spec_params,
+)
+from repro.harness.exec.trial import (
+    TrialOutcome,
+    execute_fast_trial,
+    execute_reference_trial,
+    run_spec_trial,
+)
+
+__all__ = [
+    "ENGINE_FAST",
+    "ENGINE_KINDS",
+    "ENGINE_REFERENCE",
+    "ExecutionPlan",
+    "Executor",
+    "ParallelExecutor",
+    "ResultCache",
+    "SerialExecutor",
+    "TrialBatch",
+    "TrialOutcome",
+    "TrialSpec",
+    "available_fast_adversaries",
+    "available_input_kinds",
+    "build_adversary",
+    "build_fast_adversary",
+    "build_inputs",
+    "build_protocol",
+    "cache_salt",
+    "derive_trial_seed",
+    "execute_fast_trial",
+    "execute_reference_trial",
+    "make_executor",
+    "run_spec_trial",
+    "spec_params",
+]

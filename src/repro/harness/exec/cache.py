@@ -1,0 +1,142 @@
+"""Content-addressed on-disk cache of batch results.
+
+Each completed :class:`~repro.harness.exec.spec.TrialBatch` is stored
+as one JSON document under ``.repro-cache/`` (or a caller-chosen
+root), addressed by the batch key — a hash over the spec's content
+hash, the base seed, and the trial count.  A stored document also
+records a *code-version salt*; when the package version (or the cache
+schema) changes, every old entry silently misses and is recomputed,
+so stale results can never survive a code change that might alter
+sampled behaviour.
+
+Granularity is the batch (one sweep cell, one experiment row): an
+interrupted grid re-run skips every completed cell and recomputes only
+the ones that never finished.  Loads are defensive — any malformed,
+truncated, or mismatched document is treated as a miss, never an
+error.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import asdict
+from pathlib import Path
+from typing import List, Optional, Union
+
+import repro
+from repro.harness.exec.spec import TrialBatch
+from repro.harness.exec.trial import TrialOutcome
+
+__all__ = ["CACHE_SCHEMA_VERSION", "DEFAULT_CACHE_DIR", "ResultCache", "cache_salt"]
+
+#: Bumped whenever the stored document layout changes.
+CACHE_SCHEMA_VERSION = 1
+
+DEFAULT_CACHE_DIR = Path(".repro-cache")
+
+
+def cache_salt() -> str:
+    """The code-version salt stamped into (and required of) every entry."""
+    return f"{repro.__version__}/schema{CACHE_SCHEMA_VERSION}"
+
+
+class ResultCache:
+    """JSON result store keyed by batch content hash + seed + salt.
+
+    Args:
+        root: Cache directory; created lazily on first store.
+    """
+
+    def __init__(self, root: Union[str, Path, None] = None) -> None:
+        self.root = Path(root) if root is not None else DEFAULT_CACHE_DIR
+
+    def path_for(self, batch: TrialBatch) -> Path:
+        """Where ``batch``'s document lives (two-level fan-out)."""
+        key = batch.batch_key()
+        return self.root / key[:2] / f"{key}.json"
+
+    def load(self, batch: TrialBatch) -> Optional[List[TrialOutcome]]:
+        """The batch's cached outcomes, or ``None`` on any miss.
+
+        A hit requires the schema version, salt, batch key, spec
+        fields, trial count, and base seed all to match, and every
+        outcome record to parse; anything else — including a corrupt or
+        unreadable file — is a miss.
+        """
+        path = self.path_for(batch)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        try:
+            if doc["schema"] != CACHE_SCHEMA_VERSION:
+                return None
+            if doc["salt"] != cache_salt():
+                return None
+            if doc["batch_key"] != batch.batch_key():
+                return None
+            if doc["spec"] != _spec_doc(batch):
+                return None
+            if doc["trials"] != batch.trials or doc["base_seed"] != batch.base_seed:
+                return None
+            records = doc["outcomes"]
+            if not isinstance(records, list) or len(records) != batch.trials:
+                return None
+            outcomes = [TrialOutcome.from_jsonable(rec) for rec in records]
+        except Exception:
+            return None
+        outcomes.sort(key=lambda o: o.trial_index)
+        if [o.trial_index for o in outcomes] != list(range(batch.trials)):
+            return None
+        return outcomes
+
+    def store(self, batch: TrialBatch, outcomes: List[TrialOutcome]) -> Path:
+        """Persist a completed batch atomically; returns the file path.
+
+        Writes to a temp file in the destination directory and renames
+        into place, so readers never observe a partial document.
+        """
+        path = self.path_for(batch)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "salt": cache_salt(),
+            "batch_key": batch.batch_key(),
+            "spec": _spec_doc(batch),
+            "trials": batch.trials,
+            "base_seed": batch.base_seed,
+            "label": batch.label,
+            "outcomes": [
+                o.to_jsonable()
+                for o in sorted(outcomes, key=lambda o: o.trial_index)
+            ],
+        }
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh, sort_keys=True)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+
+def _spec_doc(batch: TrialBatch) -> dict:
+    """The spec as the JSON-round-trippable dict stored in documents.
+
+    Param tuples become lists under ``json.dump``; normalise here so a
+    freshly-built spec compares equal to one read back from disk.
+    """
+    raw = asdict(batch.spec)
+    for key in ("protocol_params", "adversary_params", "inputs_params"):
+        raw[key] = [list(pair) for pair in raw[key]]
+    return raw

@@ -1,0 +1,192 @@
+"""Executors: how an :class:`ExecutionPlan` actually runs.
+
+The :class:`Executor` base class owns everything shared — cache
+lookup/stores, hit counters, aggregation into ``TrialStats`` — and
+delegates only "run these trial indices of this batch" to subclasses:
+
+* :class:`SerialExecutor` runs them in-process, in order.
+* :class:`ParallelExecutor` fans chunks of indices out to a
+  ``concurrent.futures.ProcessPoolExecutor``.
+
+Because every trial's seed is a pure function of ``(base_seed,
+spec_hash, trial_index)`` and outcomes are re-sorted by trial index
+after collection, the two executors (at any worker count or chunk
+size) produce byte-identical outcome lists — the invariance the test
+suite pins down.
+
+Only picklable values cross the process boundary: the frozen spec, the
+base seed, and index lists.  Workers rebuild live protocol/adversary
+objects by name via :mod:`repro.harness.exec.builders`.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.harness.exec.cache import ResultCache
+from repro.harness.exec.spec import ExecutionPlan, TrialBatch, TrialSpec
+from repro.harness.exec.trial import TrialOutcome, run_spec_trial
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.harness.runner import TrialStats
+
+__all__ = [
+    "Executor",
+    "ParallelExecutor",
+    "SerialExecutor",
+    "make_executor",
+]
+
+
+def _run_chunk(
+    spec: TrialSpec, base_seed: int, indices: Sequence[int]
+) -> List[TrialOutcome]:
+    """Worker entry point: run a slice of a batch's trial indices.
+
+    Module-level (not a closure or bound method) so the process pool
+    can resolve it by import in every worker.
+    """
+    return [run_spec_trial(spec, i, base_seed) for i in indices]
+
+
+class Executor:
+    """Runs batches, consulting an optional :class:`ResultCache`.
+
+    Attributes:
+        cache: The result cache, or ``None`` to always recompute.
+        cache_hits / cache_misses: Batch-level counters, for resume
+            reporting ("12/16 cells served from cache").
+    """
+
+    def __init__(self, cache: Optional[ResultCache] = None) -> None:
+        self.cache = cache
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def run_outcomes(self, batch: TrialBatch) -> List[TrialOutcome]:
+        """All outcomes of ``batch``, from cache when possible."""
+        if self.cache is not None:
+            cached = self.cache.load(batch)
+            if cached is not None:
+                self.cache_hits += 1
+                return cached
+            self.cache_misses += 1
+        outcomes = self._execute(batch)
+        outcomes.sort(key=lambda o: o.trial_index)
+        if self.cache is not None:
+            self.cache.store(batch, outcomes)
+        return outcomes
+
+    def run_batch(self, batch: TrialBatch) -> "TrialStats":
+        """Run ``batch`` and aggregate into ``TrialStats``."""
+        # Imported here, not at module level: runner imports the spec
+        # and trial modules, so a top-level import would be circular.
+        from repro.harness.runner import TrialStats
+
+        return TrialStats.from_outcomes(
+            self.run_outcomes(batch), engine_kind=batch.spec.engine
+        )
+
+    def run_plan(self, plan: ExecutionPlan) -> List["TrialStats"]:
+        """Run every batch of ``plan`` in order."""
+        return [self.run_batch(batch) for batch in plan]
+
+    def _execute(self, batch: TrialBatch) -> List[TrialOutcome]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any worker resources (no-op for serial execution)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class SerialExecutor(Executor):
+    """In-process, in-order execution — the zero-dependency baseline."""
+
+    def _execute(self, batch: TrialBatch) -> List[TrialOutcome]:
+        return _run_chunk(batch.spec, batch.base_seed, range(batch.trials))
+
+
+class ParallelExecutor(Executor):
+    """Process-pool execution over chunks of trial indices.
+
+    Args:
+        workers: Pool size (default: CPU count).
+        cache: Optional result cache, shared with the serial path.
+        chunk_size: Trials per worker task.  Default splits each batch
+            into roughly ``4 * workers`` chunks so stragglers rebalance.
+            Any value yields identical results; it only affects
+            scheduling.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        *,
+        cache: Optional[ResultCache] = None,
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        super().__init__(cache=cache)
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigurationError(
+                f"chunk_size must be >= 1, got {chunk_size}"
+            )
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
+
+    def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.workers
+            )
+        return self._pool
+
+    def _chunks(self, trials: int) -> List[List[int]]:
+        size = self.chunk_size
+        if size is None:
+            size = max(1, -(-trials // (self.workers * 4)))
+        indices = list(range(trials))
+        return [indices[i : i + size] for i in range(0, trials, size)]
+
+    def _execute(self, batch: TrialBatch) -> List[TrialOutcome]:
+        chunks = self._chunks(batch.trials)
+        if len(chunks) <= 1:
+            # Not worth a round-trip through the pool.
+            return _run_chunk(batch.spec, batch.base_seed, range(batch.trials))
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(_run_chunk, batch.spec, batch.base_seed, chunk)
+            for chunk in chunks
+        ]
+        outcomes: List[TrialOutcome] = []
+        for future in futures:
+            outcomes.extend(future.result())
+        return outcomes
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+
+def make_executor(
+    workers: int = 1,
+    *,
+    cache: Optional[ResultCache] = None,
+) -> Executor:
+    """A :class:`SerialExecutor` for ``workers <= 1``, else parallel."""
+    if workers <= 1:
+        return SerialExecutor(cache=cache)
+    return ParallelExecutor(workers, cache=cache)

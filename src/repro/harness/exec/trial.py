@@ -1,0 +1,254 @@
+"""Single-trial execution shared by every driver.
+
+:class:`TrialOutcome` is the unit the whole execution core trades in:
+one trial's JSON-serialisable result record.  It carries everything the
+harness aggregates into ``TrialStats`` plus the per-round series the
+profiling experiments need, so serial loops, worker processes, and the
+result cache all speak the same value.
+
+:func:`run_spec_trial` is the one function a worker process runs: given
+a (picklable) spec, a base seed, and a trial index, it derives the
+trial seed, builds fresh objects, executes, and returns the outcome.
+It is deliberately free of any per-batch state so outcome ``i`` never
+depends on which worker computed it or what ran before it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.harness.exec.builders import (
+    build_adversary,
+    build_fast_adversary,
+    build_inputs,
+    build_protocol,
+)
+from repro.harness.exec.spec import ENGINE_FAST, TrialSpec
+from repro.sim.checks import verify_execution
+from repro.sim.engine import Engine
+from repro.sim.fast import FastEngine
+from repro.sim.model import Verdict
+
+__all__ = [
+    "TrialOutcome",
+    "execute_fast_trial",
+    "execute_reference_trial",
+    "run_spec_trial",
+]
+
+#: XOR mask separating the input-sampling stream from the engine stream
+#: (kept from the factory-based drivers so both seed the same way).
+_INPUT_STREAM_MASK = 0x5EED
+
+
+@dataclass(frozen=True)
+class TrialOutcome:
+    """One trial's result, JSON-serialisable for caching and transport.
+
+    Attributes:
+        trial_index: Position of the trial within its batch.
+        seed: The engine seed the trial ran under.
+        rounds: Total rounds executed.
+        decision_round: First round by whose end every surviving
+            process had decided; ``None`` when the horizon was hit (or
+            everyone crashed first).
+        timeout: Whether the trial hit the round horizon undecided.
+        crashes: Total processes crashed.
+        decision: The common decision value (``None`` if none).
+        verdict: Consensus verdict as a plain dict (reference engine
+            only; ``None`` for fast-engine trials, whose checking is
+            structural).
+        crashes_per_round: Per-round crash counts (fast engine only).
+        senders_per_round: Per-round broadcaster counts (fast engine
+            only).
+    """
+
+    trial_index: int
+    seed: int
+    rounds: int
+    decision_round: Optional[int]
+    timeout: bool
+    crashes: int
+    decision: Optional[int]
+    verdict: Optional[Dict[str, Any]] = None
+    crashes_per_round: Optional[List[int]] = None
+    senders_per_round: Optional[List[int]] = None
+
+    @property
+    def effective_round(self) -> int:
+        """Decision round, or the horizon for timed-out trials.
+
+        This is the value the factory drivers have always appended to
+        ``TrialStats.decision_rounds``.
+        """
+        return self.rounds if self.decision_round is None else self.decision_round
+
+    def verdict_obj(self) -> Optional[Verdict]:
+        """The verdict as a :class:`~repro.sim.model.Verdict`, if any."""
+        if self.verdict is None:
+            return None
+        return Verdict(
+            agreement=bool(self.verdict["agreement"]),
+            validity=bool(self.verdict["validity"]),
+            termination=bool(self.verdict["termination"]),
+            decision=self.verdict["decision"],
+        )
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        """A plain-dict form suitable for ``json.dump``."""
+        return {
+            "trial_index": self.trial_index,
+            "seed": self.seed,
+            "rounds": self.rounds,
+            "decision_round": self.decision_round,
+            "timeout": self.timeout,
+            "crashes": self.crashes,
+            "decision": self.decision,
+            "verdict": self.verdict,
+            "crashes_per_round": self.crashes_per_round,
+            "senders_per_round": self.senders_per_round,
+        }
+
+    @classmethod
+    def from_jsonable(cls, doc: Dict[str, Any]) -> "TrialOutcome":
+        """Inverse of :meth:`to_jsonable`; raises on malformed docs."""
+        try:
+            return cls(
+                trial_index=int(doc["trial_index"]),
+                seed=int(doc["seed"]),
+                rounds=int(doc["rounds"]),
+                decision_round=(
+                    None
+                    if doc["decision_round"] is None
+                    else int(doc["decision_round"])
+                ),
+                timeout=bool(doc["timeout"]),
+                crashes=int(doc["crashes"]),
+                decision=(
+                    None if doc["decision"] is None else int(doc["decision"])
+                ),
+                verdict=doc.get("verdict"),
+                crashes_per_round=doc.get("crashes_per_round"),
+                senders_per_round=doc.get("senders_per_round"),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"malformed trial-outcome record: {exc}"
+            ) from exc
+
+
+def execute_reference_trial(
+    protocol: object,
+    adversary: object,
+    n: int,
+    *,
+    trial_index: int,
+    seed: int,
+    inputs: Sequence[int],
+    max_rounds: Optional[int] = None,
+    strict_termination: bool = False,
+) -> TrialOutcome:
+    """Run one reference-engine trial on fresh live objects."""
+    engine = Engine(
+        protocol,
+        adversary,
+        n,
+        seed=seed,
+        max_rounds=max_rounds,
+        strict_termination=strict_termination,
+        record_payloads=False,
+    )
+    result = engine.run(inputs)
+    verdict = verify_execution(result)
+    return TrialOutcome(
+        trial_index=trial_index,
+        seed=seed,
+        rounds=result.rounds,
+        decision_round=result.decision_round,
+        timeout=result.decision_round is None,
+        crashes=len(result.crashed),
+        decision=result.common_decision(),
+        verdict={
+            "agreement": verdict.agreement,
+            "validity": verdict.validity,
+            "termination": verdict.termination,
+            "decision": verdict.decision,
+        },
+    )
+
+
+def execute_fast_trial(
+    protocol: object,
+    adversary: object,
+    n: int,
+    *,
+    trial_index: int,
+    seed: int,
+    inputs: Sequence[int],
+    max_rounds: Optional[int] = None,
+    strict_termination: bool = False,
+) -> TrialOutcome:
+    """Run one fast-engine trial on fresh live objects."""
+    engine = FastEngine(
+        protocol,
+        adversary,
+        n,
+        seed=seed,
+        max_rounds=max_rounds,
+        strict_termination=strict_termination,
+    )
+    result = engine.run(inputs)
+    return TrialOutcome(
+        trial_index=trial_index,
+        seed=seed,
+        rounds=result.rounds,
+        decision_round=result.decision_round,
+        timeout=result.decision_round is None,
+        crashes=result.crashes_used,
+        decision=result.decision,
+        crashes_per_round=list(result.crashes_per_round),
+        senders_per_round=list(result.senders_per_round),
+    )
+
+
+def run_spec_trial(
+    spec: TrialSpec, trial_index: int, base_seed: int
+) -> TrialOutcome:
+    """Execute trial ``trial_index`` of ``spec`` rooted at ``base_seed``.
+
+    The module-level entry point every executor dispatches to —
+    importable by name, so process-pool workers need only the picklable
+    ``(spec, trial_index, base_seed)`` triple.  Every live object is
+    built fresh here, inside the worker: the run protocol, the
+    adversary, and (for reference-engine adversaries that inspect their
+    target) a *separate* fresh probe protocol, so no state leaks
+    between trials or between the adversary's view and the execution.
+    """
+    seed = spec.trial_seed(base_seed, trial_index)
+    inputs = build_inputs(spec, random.Random(seed ^ _INPUT_STREAM_MASK))
+    if spec.engine == ENGINE_FAST:
+        return execute_fast_trial(
+            build_protocol(spec),
+            build_fast_adversary(spec),
+            spec.n,
+            trial_index=trial_index,
+            seed=seed,
+            inputs=inputs,
+            max_rounds=spec.max_rounds,
+            strict_termination=spec.strict_termination,
+        )
+    probe = build_protocol(spec)
+    adversary = build_adversary(spec, probe)
+    return execute_reference_trial(
+        build_protocol(spec),
+        adversary,
+        spec.n,
+        trial_index=trial_index,
+        seed=seed,
+        inputs=inputs,
+        max_rounds=spec.max_rounds,
+        strict_termination=spec.strict_termination,
+    )

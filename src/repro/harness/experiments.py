@@ -9,9 +9,14 @@ paper-vs-measured results).  All functions take a ``scale``:
 * ``"quick"`` — minutes of CPU; the grids used by the benchmark suite.
 * ``"full"`` — the grids recorded in EXPERIMENTS.md.
 
-Run everything from the command line::
+Every trial-running experiment describes its work as
+:class:`~repro.harness.exec.spec.TrialSpec` batches and accepts an
+optional ``executor`` (see :mod:`repro.harness.exec`), so the whole
+suite parallelises and resumes from the result cache with no
+per-experiment code.  Run everything from the command line::
 
-    python -m repro.harness.experiments [--scale quick|full] [--only E5]
+    python -m repro.harness.experiments [--scale quick|full]
+        [--only E5,E6] [--workers N] [--no-cache] [--cache-dir DIR]
 """
 
 from __future__ import annotations
@@ -19,27 +24,13 @@ from __future__ import annotations
 import argparse
 import math
 import random
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro._math import (
     adversary_round_budget,
     coin_control_budget,
     expected_rounds_bound,
     lower_bound_rounds,
-)
-from repro.adversary import (
-    BenOrQuorumAdversary,
-    BenignAdversary,
-    RandomCrashAdversary,
-    StaticAdversary,
-    TallyAttackAdversary,
-)
-from repro.adversary.oblivious import (
-    ObliviousAdversary,
-    burst_schedule,
-    calibrated_drip_schedule,
-    drip_schedule,
-    uniform_schedule,
 )
 from repro.analysis.bounds import upper_bound_rounds_thm2
 from repro.analysis.concentration import (
@@ -66,22 +57,19 @@ from repro.coinflip.games import (
     QuantileGame,
 )
 from repro.errors import ConfigurationError
+from repro.harness.exec import (
+    ENGINE_FAST,
+    Executor,
+    ResultCache,
+    SerialExecutor,
+    TrialBatch,
+    TrialSpec,
+    make_executor,
+    spec_params,
+)
 from repro.harness.report import Table, render_table
-from repro.harness.runner import run_fast_trials, run_reference_trials
-from repro.harness.workloads import (
-    random_inputs,
-    unanimous,
-    worst_case_split,
-)
-from repro.adversary.antibeacon import AntiBeaconAdversary
-from repro.protocols import (
-    BeaconRanProtocol,
-    BenOrProtocol,
-    FloodSetProtocol,
-    SymmetricRanProtocol,
-    SynRanProtocol,
-)
-from repro.sim.fast import FastBenign, FastRandomCrash, FastTallyAttack
+from repro.harness.runner import TrialStats
+from repro.protocols import SynRanProtocol
 
 __all__ = [
     "ALL_EXPERIMENTS",
@@ -109,12 +97,29 @@ def _check_scale(scale: str) -> None:
         )
 
 
+def _run(
+    spec: TrialSpec,
+    *,
+    trials: int,
+    base_seed: int,
+    executor: Optional[Executor] = None,
+    label: str = "",
+) -> TrialStats:
+    """Run one batch on the given executor (serial when ``None``)."""
+    batch = TrialBatch(
+        spec=spec, trials=trials, base_seed=base_seed, label=label
+    )
+    return (executor or SerialExecutor()).run_batch(batch)
+
+
 # ----------------------------------------------------------------------
 # E1 — Corollary 2.2: coin-game control probability
 # ----------------------------------------------------------------------
 
 
-def experiment_e1_coin_control(scale: str = "quick") -> Table:
+def experiment_e1_coin_control(
+    scale: str = "quick", *, executor: Optional[Executor] = None
+) -> Table:
     """Control probability of one-round games at the Lemma-2.1 budget.
 
     Claim: with ``t > k * 4 * sqrt(n log n)`` hidings, some outcome is
@@ -173,7 +178,9 @@ def experiment_e1_coin_control(scale: str = "quick") -> Table:
 # ----------------------------------------------------------------------
 
 
-def experiment_e2_one_side_bias(scale: str = "quick") -> Table:
+def experiment_e2_one_side_bias(
+    scale: str = "quick", *, executor: Optional[Executor] = None
+) -> Table:
     """The asymmetry that motivates SynRan's coin rule.
 
     Claim: majority-with-default-0 can be biased towards 0 by hiding a
@@ -214,7 +221,9 @@ def experiment_e2_one_side_bias(scale: str = "quick") -> Table:
 # ----------------------------------------------------------------------
 
 
-def experiment_e3_deviation(scale: str = "quick") -> Table:
+def experiment_e3_deviation(
+    scale: str = "quick", *, executor: Optional[Executor] = None
+) -> Table:
     """Pr(x - n/2 >= t*sqrt(n)) >= e^{-4(t+1)^2}/sqrt(2 pi)."""
     _check_scale(scale)
     ns = [256, 1024] if scale == "quick" else [256, 1024, 4096, 16384]
@@ -264,7 +273,9 @@ def experiment_e3_deviation(scale: str = "quick") -> Table:
 # ----------------------------------------------------------------------
 
 
-def experiment_e4_valency(scale: str = "quick") -> Table:
+def experiment_e4_valency(
+    scale: str = "quick", *, executor: Optional[Executor] = None
+) -> Table:
     """Exact min/max Pr[decide 1] for every initial state of a tiny
     SynRan system; Lemma 3.5: some initial state is non-univalent."""
     _check_scale(scale)
@@ -312,7 +323,9 @@ def experiment_e4_valency(scale: str = "quick") -> Table:
 # ----------------------------------------------------------------------
 
 
-def experiment_e5_lower_bound(scale: str = "quick") -> Table:
+def experiment_e5_lower_bound(
+    scale: str = "quick", *, executor: Optional[Executor] = None
+) -> Table:
     """Rounds the implementable adversaries force, vs the Theorem-1
     shape t/(4 sqrt(n log n) + 1)."""
     _check_scale(scale)
@@ -335,13 +348,19 @@ def experiment_e5_lower_bound(scale: str = "quick") -> Table:
     predicted: List[float] = []
     for n in ns:
         t = n
-        stats = run_fast_trials(
-            SynRanProtocol,
-            lambda t=t: FastTallyAttack(t),
-            n,
-            lambda rng, n=n: worst_case_split(n),
+        stats = _run(
+            TrialSpec(
+                protocol="synran",
+                adversary="tally-attack",
+                n=n,
+                t=t,
+                inputs="worst",
+                engine=ENGINE_FAST,
+            ),
             trials=trials,
             base_seed=101,
+            executor=executor,
+            label=f"E5/synran/n={n}",
         )
         summary = stats.rounds_summary()
         shape = lower_bound_rounds(n, t)
@@ -358,13 +377,20 @@ def experiment_e5_lower_bound(scale: str = "quick") -> Table:
         # paper's introduction describes).  t = n/4 keeps the stall
         # finite and measurable.
         t = n // 4
-        stats = run_reference_trials(
-            lambda t=t: BenOrProtocol(t=t),
-            lambda t=t: BenOrQuorumAdversary(t, decide_threshold=t + 1),
-            n,
-            lambda rng, n=n: worst_case_split(n, fraction=0.5),
+        stats = _run(
+            TrialSpec(
+                protocol="benor",
+                adversary="benor-quorum",
+                n=n,
+                t=t,
+                inputs="worst",
+                adversary_params=spec_params(decide_threshold=t + 1),
+                inputs_params=spec_params(fraction=0.5),
+            ),
             trials=max(3, trials // 2),
             base_seed=103,
+            executor=executor,
+            label=f"E5/benor/n={n}",
         )
         summary = stats.rounds_summary()
         shape = lower_bound_rounds(n, t)
@@ -387,7 +413,9 @@ def experiment_e5_lower_bound(scale: str = "quick") -> Table:
 # ----------------------------------------------------------------------
 
 
-def experiment_e6_upper_bound(scale: str = "quick") -> Table:
+def experiment_e6_upper_bound(
+    scale: str = "quick", *, executor: Optional[Executor] = None
+) -> Table:
     """SynRan expected rounds under an adversary suite vs the Theorem-2
     shape t/sqrt(n log n) + sqrt(n/log n)."""
     _check_scale(scale)
@@ -396,11 +424,11 @@ def experiment_e6_upper_bound(scale: str = "quick") -> Table:
     else:
         ns, trials = [256, 1024, 4096, 16384], 20
 
-    suite: Dict[str, Callable[[int], object]] = {
-        "benign": lambda t: FastBenign(),
-        "random": lambda t: FastRandomCrash(t, rate=0.02),
-        "tally-attack": lambda t: FastTallyAttack(t),
-    }
+    suite = [
+        ("benign", "benign", ()),
+        ("random", "random", spec_params(rate=0.02)),
+        ("tally-attack", "tally-attack", ()),
+    ]
     table = Table(
         title=(
             "E6 (Thm 2): SynRan expected rounds at t=n vs "
@@ -414,14 +442,21 @@ def experiment_e6_upper_bound(scale: str = "quick") -> Table:
         t = n
         shape = upper_bound_rounds_thm2(n, t)
         worst_mean = 0.0
-        for name, factory in suite.items():
-            stats = run_fast_trials(
-                SynRanProtocol,
-                lambda factory=factory, t=t: factory(t),
-                n,
-                lambda rng, n=n: worst_case_split(n),
+        for name, adv_name, adv_params in suite:
+            stats = _run(
+                TrialSpec(
+                    protocol="synran",
+                    adversary=adv_name,
+                    n=n,
+                    t=t,
+                    inputs="worst",
+                    adversary_params=adv_params,
+                    engine=ENGINE_FAST,
+                ),
                 trials=trials,
                 base_seed=211,
+                executor=executor,
+                label=f"E6/{name}/n={n}",
             )
             mean = stats.rounds_summary().mean
             worst_mean = max(worst_mean, mean)
@@ -441,7 +476,9 @@ def experiment_e6_upper_bound(scale: str = "quick") -> Table:
 # ----------------------------------------------------------------------
 
 
-def experiment_e7_baselines(scale: str = "quick") -> Table:
+def experiment_e7_baselines(
+    scale: str = "quick", *, executor: Optional[Executor] = None
+) -> Table:
     """Cross-protocol comparison under each protocol's worst
     implemented adversary, plus the symmetric-coin Validity break."""
     _check_scale(scale)
@@ -458,6 +495,7 @@ def experiment_e7_baselines(scale: str = "quick") -> Table:
             "violations",
         ],
     )
+    max_rounds = 6 * n + 64
     for t in ts:
         # Ben-Or's budget is capped at sqrt(n): against a
         # full-information adversary, [BO83] is only fast for
@@ -468,47 +506,37 @@ def experiment_e7_baselines(scale: str = "quick") -> Table:
         # horizon.  The cap gives Ben-Or its best playable budget.
         benor_t = min(t, math.isqrt(n))
         configs = [
-            (
-                "synran",
-                t,
-                lambda: SynRanProtocol(),
-                lambda t=t: TallyAttackAdversary(t),
-            ),
-            (
-                "symmetric-ran",
-                t,
-                lambda: SymmetricRanProtocol(),
-                lambda t=t: TallyAttackAdversary(t),
-            ),
-            (
-                "floodset",
-                t,
-                lambda t=t: FloodSetProtocol.for_resilience(t),
-                lambda t=t: RandomCrashAdversary(t, rate=0.1),
-            ),
+            ("synran", t, "tally-attack", "tally-attack", ()),
+            ("symmetric-ran", t, "tally-attack", "tally-attack", ()),
+            ("floodset", t, "random", "random-crash", spec_params(rate=0.1)),
             (
                 "benor",
                 benor_t,
-                lambda t=benor_t: BenOrProtocol(t=t),
-                lambda t=benor_t: BenOrQuorumAdversary(
-                    t, decide_threshold=t + 1
-                ),
+                "benor-quorum",
+                "benor-quorum-attack",
+                spec_params(decide_threshold=benor_t + 1),
             ),
         ]
-        for name, t_used, proto_factory, adv_factory in configs:
-            stats = run_reference_trials(
-                proto_factory,
-                adv_factory,
-                n,
-                lambda rng: worst_case_split(n),
+        for name, t_used, adv_name, adv_display, adv_params in configs:
+            stats = _run(
+                TrialSpec(
+                    protocol=name,
+                    adversary=adv_name,
+                    n=n,
+                    t=t_used,
+                    inputs="worst",
+                    adversary_params=adv_params,
+                    max_rounds=max_rounds,
+                ),
                 trials=trials,
                 base_seed=307,
-                max_rounds=6 * n + 64,
+                executor=executor,
+                label=f"E7/{name}/t={t_used}",
             )
             table.add_row(
                 name,
                 t_used,
-                adv_factory().name,
+                adv_display,
                 stats.rounds_summary().mean,
                 stats.timeouts,
                 stats.violation_count(),
@@ -516,16 +544,19 @@ def experiment_e7_baselines(scale: str = "quick") -> Table:
     # The Validity break of the symmetric ablation: unanimous-1 inputs,
     # round-0 mass silencing.
     kill = math.floor(0.65 * n)
-    stats = run_reference_trials(
-        lambda: SymmetricRanProtocol(),
-        lambda: StaticAdversary(
-            t=kill, schedule={0: list(range(kill))}
+    stats = _run(
+        TrialSpec(
+            protocol="symmetric-ran",
+            adversary="static-mass-crash",
+            n=n,
+            t=kill,
+            inputs="unanimous1",
+            max_rounds=max_rounds,
         ),
-        n,
-        lambda rng: unanimous(n, 1),
         trials=3,
         base_seed=311,
-        max_rounds=6 * n + 64,
+        executor=executor,
+        label="E7/validity-break",
     )
     table.add_row(
         "symmetric-ran",
@@ -557,7 +588,9 @@ def experiment_e7_baselines(scale: str = "quick") -> Table:
 # ----------------------------------------------------------------------
 
 
-def experiment_e8_t_sweep(scale: str = "quick") -> Table:
+def experiment_e8_t_sweep(
+    scale: str = "quick", *, executor: Optional[Executor] = None
+) -> Table:
     """SynRan rounds vs t at fixed n: Θ(t / sqrt(n log(2 + t/sqrt n)))."""
     _check_scale(scale)
     if scale == "quick":
@@ -576,13 +609,19 @@ def experiment_e8_t_sweep(scale: str = "quick") -> Table:
     measured: List[float] = []
     predicted: List[float] = []
     for t in ts:
-        stats = run_fast_trials(
-            SynRanProtocol,
-            lambda t=t: FastTallyAttack(t),
-            n,
-            lambda rng: worst_case_split(n),
+        stats = _run(
+            TrialSpec(
+                protocol="synran",
+                adversary="tally-attack",
+                n=n,
+                t=t,
+                inputs="worst",
+                engine=ENGINE_FAST,
+            ),
             trials=trials,
             base_seed=401,
+            executor=executor,
+            label=f"E8/t={t}",
         )
         summary = stats.rounds_summary()
         shape = expected_rounds_bound(n, t)
@@ -606,7 +645,9 @@ def experiment_e8_t_sweep(scale: str = "quick") -> Table:
 # ----------------------------------------------------------------------
 
 
-def experiment_e9_correctness(scale: str = "quick") -> Table:
+def experiment_e9_correctness(
+    scale: str = "quick", *, executor: Optional[Executor] = None
+) -> Table:
     """Zero violations across protocols x adversaries x sizes x seeds."""
     _check_scale(scale)
     if scale == "quick":
@@ -630,53 +671,52 @@ def experiment_e9_correctness(scale: str = "quick") -> Table:
         return max(0, min(n // 3, math.isqrt(n)))
 
     grid = [
-        ("synran", lambda n, t: SynRanProtocol(), synran_t, [
-            ("benign", lambda n, t: BenignAdversary()),
-            ("random", lambda n, t: RandomCrashAdversary(t, rate=0.15)),
-            ("burst", lambda n, t: RandomCrashAdversary(
-                t, rate=0.05, burst_probability=0.2)),
-            ("tally-attack", lambda n, t: TallyAttackAdversary(t)),
+        ("synran", synran_t, [
+            ("benign", "benign", ()),
+            ("random", "random", spec_params(rate=0.15)),
+            ("burst", "burst", ()),
+            ("tally-attack", "tally-attack", ()),
         ]),
-        ("floodset", lambda n, t: FloodSetProtocol.for_resilience(t),
-         synran_t, [
-            ("benign", lambda n, t: BenignAdversary()),
-            ("random", lambda n, t: RandomCrashAdversary(t, rate=0.15)),
-            ("burst", lambda n, t: RandomCrashAdversary(
-                t, rate=0.05, burst_probability=0.2)),
+        ("floodset", synran_t, [
+            ("benign", "benign", ()),
+            ("random", "random", spec_params(rate=0.15)),
+            ("burst", "burst", ()),
         ]),
-        ("benor", lambda n, t: BenOrProtocol(t=t), benor_t, [
-            ("benign", lambda n, t: BenignAdversary()),
-            ("random", lambda n, t: RandomCrashAdversary(t, rate=0.1)),
-            ("quorum-attack", lambda n, t: BenOrQuorumAdversary(
-                t, decide_threshold=t + 1)),
+        ("benor", benor_t, [
+            ("benign", "benign", ()),
+            ("random", "random", spec_params(rate=0.1)),
+            ("quorum-attack", "benor-quorum", ()),
         ]),
     ]
-    for proto_name, proto_factory, t_of, adversaries in grid:
-        for adv_name, adv_factory in adversaries:
+    input_kinds = ("unanimous0", "unanimous1", "random")
+    for proto_name, t_of, adversaries in grid:
+        for adv_display, adv_name, adv_params in adversaries:
             runs = 0
             violations = 0
             configs = 0
             for n in ns:
                 t = t_of(n)
                 configs += 1
-                for inputs_factory in (
-                    lambda rng, n=n: unanimous(n, 0),
-                    lambda rng, n=n: unanimous(n, 1),
-                    lambda rng, n=n: random_inputs(n, rng),
-                ):
-                    stats = run_reference_trials(
-                        lambda n=n, t=t: proto_factory(n, t),
-                        lambda n=n, t=t: adv_factory(n, t),
-                        n,
-                        inputs_factory,
+                for kind in input_kinds:
+                    stats = _run(
+                        TrialSpec(
+                            protocol=proto_name,
+                            adversary=adv_name,
+                            n=n,
+                            t=t,
+                            inputs=kind,
+                            adversary_params=adv_params,
+                            max_rounds=8 * n + 96,
+                        ),
                         trials=trials,
                         base_seed=503 + n,
-                        max_rounds=8 * n + 96,
+                        executor=executor,
+                        label=f"E9/{proto_name}/{adv_display}/n={n}/{kind}",
                     )
                     runs += trials
                     violations += stats.violation_count()
                     violations += stats.timeouts
-            table.add_row(proto_name, adv_name, configs, runs, violations)
+            table.add_row(proto_name, adv_display, configs, runs, violations)
     table.add_note(
         "violations counts failed verdicts plus horizon timeouts; the "
         "expected value everywhere is 0."
@@ -689,7 +729,9 @@ def experiment_e9_correctness(scale: str = "quick") -> Table:
 # ----------------------------------------------------------------------
 
 
-def experiment_e10_concentration(scale: str = "quick") -> Table:
+def experiment_e10_concentration(
+    scale: str = "quick", *, executor: Optional[Executor] = None
+) -> Table:
     """Pr(B(A, h)) >= 1 - 1/n for sets of mass >= 1/n at h = 4 sqrt(n log n)."""
     _check_scale(scale)
     ns = [64, 256, 1024] if scale == "quick" else [64, 256, 1024, 4096]
@@ -726,7 +768,9 @@ def experiment_e10_concentration(scale: str = "quick") -> Table:
 # ----------------------------------------------------------------------
 
 
-def experiment_e11_adaptivity(scale: str = "quick") -> Table:
+def experiment_e11_adaptivity(
+    scale: str = "quick", *, executor: Optional[Executor] = None
+) -> Table:
     """Oblivious (non-adaptive) adversaries cannot force the bound.
 
     The paper's §1.2: against *non-adaptive* fail-stop adversaries,
@@ -755,50 +799,47 @@ def experiment_e11_adaptivity(scale: str = "quick") -> Table:
         ],
     )
     oblivious_families = [
-        (
-            "oblivious-uniform",
-            lambda: ObliviousAdversary(t, uniform_schedule),
-        ),
-        (
-            "oblivious-burst",
-            lambda: ObliviousAdversary(t, burst_schedule),
-        ),
+        ("oblivious-uniform", "oblivious-uniform", ()),
+        ("oblivious-burst", "oblivious-burst", ()),
         (
             "oblivious-drip",
-            lambda: ObliviousAdversary(
-                t,
-                lambda n_, t_, rng: drip_schedule(
-                    n_, t_, rng, per_round=max(1, t // 16)
-                ),
-            ),
+            "oblivious-drip",
+            spec_params(per_round=max(1, t // 16)),
         ),
-        (
-            "oblivious-calibrated",
-            lambda: ObliviousAdversary(t, calibrated_drip_schedule),
-        ),
+        ("oblivious-calibrated", "oblivious-calibrated", ()),
     ]
-    for name, factory in oblivious_families:
-        stats = run_reference_trials(
-            SynRanProtocol,
-            factory,
-            n,
-            lambda rng: worst_case_split(n),
+    for name, adv_name, adv_params in oblivious_families:
+        stats = _run(
+            TrialSpec(
+                protocol="synran",
+                adversary=adv_name,
+                n=n,
+                t=t,
+                inputs="worst",
+                adversary_params=adv_params,
+            ),
             trials=trials,
             base_seed=701,
+            executor=executor,
+            label=f"E11/{name}",
         )
         summary = stats.rounds_summary()
         table.add_row(
             name, False, summary.mean, summary.maximum,
             stats.violation_count(),
         )
-    stats = run_reference_trials(
-        SynRanProtocol,
-        lambda: TallyAttackAdversary(t),
-        n,
-        lambda rng: worst_case_split(n),
+    stats = _run(
+        TrialSpec(
+            protocol="synran",
+            adversary="tally-attack",
+            n=n,
+            t=t,
+            inputs="worst",
+        ),
         trials=max(4, trials // 3),
         base_seed=709,
-        strict_termination=False,
+        executor=executor,
+        label="E11/tally-attack",
     )
     summary = stats.rounds_summary()
     table.add_row(
@@ -828,7 +869,9 @@ def experiment_e11_adaptivity(scale: str = "quick") -> Table:
 # ----------------------------------------------------------------------
 
 
-def experiment_e12_shared_coin(scale: str = "quick") -> Table:
+def experiment_e12_shared_coin(
+    scale: str = "quick", *, executor: Optional[Executor] = None
+) -> Table:
     """BeaconRan (a [CMS89]-style shared coin on SynRan's skeleton)
     against the adversary matrix.
 
@@ -855,29 +898,26 @@ def experiment_e12_shared_coin(scale: str = "quick") -> Table:
             "violations",
         ],
     )
-    protocols = [
-        ("synran", lambda: SynRanProtocol()),
-        ("beacon-ran", lambda: BeaconRanProtocol()),
-    ]
+    protocols = ["synran", "beacon-ran"]
     adversaries = [
-        ("benign", False, lambda: BenignAdversary()),
-        (
-            "oblivious-calibrated",
-            False,
-            lambda: ObliviousAdversary(t, calibrated_drip_schedule),
-        ),
-        ("anti-beacon (adaptive)", True, lambda: AntiBeaconAdversary(t)),
+        ("benign", False, "benign"),
+        ("oblivious-calibrated", False, "oblivious-calibrated"),
+        ("anti-beacon (adaptive)", True, "anti-beacon"),
     ]
-    for pname, proto_factory in protocols:
-        for aname, adaptive, adv_factory in adversaries:
-            stats = run_reference_trials(
-                proto_factory,
-                adv_factory,
-                n,
-                lambda rng: worst_case_split(n),
+    for pname in protocols:
+        for aname, adaptive, adv_name in adversaries:
+            stats = _run(
+                TrialSpec(
+                    protocol=pname,
+                    adversary=adv_name,
+                    n=n,
+                    t=t,
+                    inputs="worst",
+                ),
                 trials=trials,
                 base_seed=801,
-                strict_termination=False,
+                executor=executor,
+                label=f"E12/{pname}/{adv_name}",
             )
             table.add_row(
                 pname,
@@ -903,7 +943,9 @@ def experiment_e12_shared_coin(scale: str = "quick") -> Table:
 # ----------------------------------------------------------------------
 
 
-def experiment_e13_adversary_cost(scale: str = "quick") -> Table:
+def experiment_e13_adversary_cost(
+    scale: str = "quick", *, executor: Optional[Executor] = None
+) -> Table:
     """The upper-bound proof's accounting, observed directly.
 
     Lemma 4.6 / Theorem 2: to keep SynRan alive, the adversary must
@@ -929,28 +971,33 @@ def experiment_e13_adversary_cost(scale: str = "quick") -> Table:
             "spend/floor", "blocks below floor",
         ],
     )
+    runner = executor or SerialExecutor()
     for n in ns:
         spends: List[float] = []
         floors: List[float] = []
         below = 0
         total_blocks = 0
-        seeder = random.Random(901)
-        for _ in range(trials):
-            engine_seed = seeder.getrandbits(48)
-            from repro.sim.fast import FastEngine
-
-            result = FastEngine(
-                SynRanProtocol(),
-                FastTallyAttack(n),
-                n,
-                seed=engine_seed,
-                strict_termination=False,
-            ).run(worst_case_split(n))
-            crashes = result.crashes_per_round
-            senders = result.senders_per_round
+        outcomes = runner.run_outcomes(
+            TrialBatch(
+                spec=TrialSpec(
+                    protocol="synran",
+                    adversary="tally-attack",
+                    n=n,
+                    t=n,
+                    inputs="worst",
+                    engine=ENGINE_FAST,
+                ),
+                trials=trials,
+                base_seed=901,
+                label=f"E13/n={n}",
+            )
+        )
+        for outcome in outcomes:
+            crashes = outcome.crashes_per_round or []
+            senders = outcome.senders_per_round or []
             end = (
-                result.decision_round
-                if result.decision_round is not None
+                outcome.decision_round
+                if outcome.decision_round is not None
                 else len(crashes)
             )
             # Blocks fully inside the live probabilistic portion.
@@ -990,7 +1037,7 @@ def experiment_e13_adversary_cost(scale: str = "quick") -> Table:
 # CLI
 # ----------------------------------------------------------------------
 
-ALL_EXPERIMENTS: Dict[str, Callable[[str], Table]] = {
+ALL_EXPERIMENTS: Dict[str, Callable[..., Table]] = {
     "E1": experiment_e1_coin_control,
     "E2": experiment_e2_one_side_bias,
     "E3": experiment_e3_deviation,
@@ -1007,7 +1054,32 @@ ALL_EXPERIMENTS: Dict[str, Callable[[str], Table]] = {
 }
 
 
-def main(argv: Sequence[str] = None) -> int:
+def _experiment_order(exp_id: str) -> int:
+    return int(exp_id[1:])
+
+
+def parse_only(parser: argparse.ArgumentParser, chunks: Sequence[str]) -> List[str]:
+    """Expand ``--only`` values, accepting comma-separated ids."""
+    ids: List[str] = []
+    for chunk in chunks:
+        for exp_id in chunk.split(","):
+            exp_id = exp_id.strip()
+            if not exp_id:
+                continue
+            if exp_id not in ALL_EXPERIMENTS:
+                parser.error(
+                    f"unknown experiment id {exp_id!r} (choose from "
+                    + ", ".join(
+                        sorted(ALL_EXPERIMENTS, key=_experiment_order)
+                    )
+                    + ")"
+                )
+            if exp_id not in ids:
+                ids.append(exp_id)
+    return ids
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
     """Render the requested experiments to stdout."""
     parser = argparse.ArgumentParser(
         description="Regenerate the paper's quantitative claims."
@@ -1018,17 +1090,44 @@ def main(argv: Sequence[str] = None) -> int:
     parser.add_argument(
         "--only",
         nargs="*",
-        choices=sorted(ALL_EXPERIMENTS),
-        help="subset of experiment ids to run",
+        metavar="ID[,ID...]",
+        help="subset of experiment ids to run (e.g. --only E5,E6)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for trial batches (1 = serial)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every batch instead of using the result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result-cache directory (default: .repro-cache)",
     )
     args = parser.parse_args(argv)
-    ids = args.only or sorted(
-        ALL_EXPERIMENTS, key=lambda s: int(s[1:])
-    )
-    for exp_id in ids:
-        table = ALL_EXPERIMENTS[exp_id](args.scale)
-        print(render_table(table))
-        print()
+    if args.only:
+        ids = parse_only(parser, args.only)
+    else:
+        ids = sorted(ALL_EXPERIMENTS, key=_experiment_order)
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    executor = make_executor(args.workers, cache=cache)
+    try:
+        for exp_id in ids:
+            table = ALL_EXPERIMENTS[exp_id](args.scale, executor=executor)
+            print(render_table(table))
+            print()
+        if executor.cache_hits or executor.cache_misses:
+            print(
+                f"cache: {executor.cache_hits} batch hit(s), "
+                f"{executor.cache_misses} miss(es)"
+            )
+    finally:
+        executor.close()
     return 0
 
 

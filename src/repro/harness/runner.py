@@ -8,24 +8,47 @@ Two entry points, matching the two engines:
   protocols with :class:`~repro.sim.fast.FastAdversary` attackers,
   usable at ``n`` in the thousands.
 
-Both derive per-trial seeds from a base seed so whole experiments
-replay deterministically, and both return :class:`TrialStats`.
+Both are thin wrappers over the single-trial executors in
+:mod:`repro.harness.exec.trial`, kept for callers that hold live
+factories rather than declarative specs.  Spec-based work (anything
+that should run in parallel or hit the result cache) goes through
+:mod:`repro.harness.exec` instead.
+
+Seed derivation note: per-trial seeds are
+``derive_trial_seed(base_seed, scope, i)`` — a pure hash of the trial
+index, not a draw from a sequential stream — so trial ``i`` is
+reproducible in isolation.  This replaced the original sequential
+``random.Random(base_seed).getrandbits(48)`` stream when the executor
+core landed; see :mod:`repro.harness.exec.spec` for the compatibility
+note.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Iterable, List, Optional, Sequence
 
 from repro.analysis.stats import Summary, summarize
 from repro.errors import ConfigurationError
-from repro.sim.checks import verify_execution
-from repro.sim.engine import Engine
-from repro.sim.fast import FastAdversary, FastEngine
+from repro.harness.exec.spec import (
+    ENGINE_FAST,
+    ENGINE_KINDS,
+    ENGINE_REFERENCE,
+    FACTORY_SCOPE,
+    derive_trial_seed,
+)
+from repro.harness.exec.trial import (
+    TrialOutcome,
+    execute_fast_trial,
+    execute_reference_trial,
+)
+from repro.sim.fast import FastAdversary
 from repro.sim.model import Verdict
 
 __all__ = ["TrialStats", "run_reference_trials", "run_fast_trials"]
+
+_INPUT_STREAM_MASK = 0x5EED
 
 
 @dataclass
@@ -41,6 +64,10 @@ class TrialStats:
         verdicts: Per-trial consensus verdicts (reference engine only;
             empty for fast-engine runs, whose checks are structural).
         timeouts: Number of trials that hit the round horizon.
+        engine_kind: Which engine produced the batch (``"reference"``
+            or ``"fast"``).  Fast-engine batches carry no verdicts, so
+            the verdict-based checks below refuse to answer for them
+            rather than report a vacuous pass.
     """
 
     decision_rounds: List[int] = field(default_factory=list)
@@ -48,16 +75,73 @@ class TrialStats:
     decisions: List[Optional[int]] = field(default_factory=list)
     verdicts: List[Verdict] = field(default_factory=list)
     timeouts: int = 0
+    engine_kind: str = ENGINE_REFERENCE
+
+    def __post_init__(self) -> None:
+        if self.engine_kind not in ENGINE_KINDS:
+            raise ConfigurationError(
+                f"engine_kind must be one of {ENGINE_KINDS}, "
+                f"got {self.engine_kind!r}"
+            )
+
+    @classmethod
+    def from_outcomes(
+        cls, outcomes: Iterable[TrialOutcome], *, engine_kind: str
+    ) -> "TrialStats":
+        """Aggregate per-trial outcomes (in trial-index order)."""
+        stats = cls(engine_kind=engine_kind)
+        for outcome in sorted(outcomes, key=lambda o: o.trial_index):
+            stats.append(outcome)
+        return stats
+
+    def append(self, outcome: TrialOutcome) -> None:
+        """Fold one trial outcome into the aggregate."""
+        if outcome.timeout:
+            self.timeouts += 1
+        self.decision_rounds.append(outcome.effective_round)
+        self.crashes.append(outcome.crashes)
+        self.decisions.append(outcome.decision)
+        verdict = outcome.verdict_obj()
+        if verdict is not None:
+            self.verdicts.append(verdict)
+
+    @property
+    def checked(self) -> bool:
+        """Whether trials carry full consensus verdicts."""
+        return self.engine_kind == ENGINE_REFERENCE
 
     def rounds_summary(self) -> Summary:
         return summarize([float(r) for r in self.decision_rounds])
 
     def all_ok(self) -> bool:
-        """Every verdict passed (vacuously true for fast runs)."""
+        """Every consensus verdict passed (reference engine only).
+
+        Raises :class:`ConfigurationError` for fast-engine batches:
+        they carry no verdicts, and an unchecked run must not read as a
+        passing one.  Use :meth:`structural_ok` for the checks the fast
+        engine does support.
+        """
+        self._require_checked("all_ok")
         return all(v.ok for v in self.verdicts)
 
     def violation_count(self) -> int:
+        """Number of failed verdicts (reference engine only)."""
+        self._require_checked("violation_count")
         return sum(1 for v in self.verdicts if not v.ok)
+
+    def structural_ok(self) -> bool:
+        """Engine-agnostic sanity: no timeouts, every trial decided."""
+        return self.timeouts == 0 and all(
+            d is not None for d in self.decisions
+        )
+
+    def _require_checked(self, method: str) -> None:
+        if not self.checked:
+            raise ConfigurationError(
+                f"TrialStats.{method}() needs consensus verdicts, but "
+                f"this is a {self.engine_kind!r}-engine batch whose "
+                "checking is structural only; use structural_ok()"
+            )
 
 
 def run_reference_trials(
@@ -81,31 +165,23 @@ def run_reference_trials(
     """
     if trials < 1:
         raise ConfigurationError(f"trials must be >= 1, got {trials}")
-    stats = TrialStats()
-    seeder = random.Random(base_seed)
-    for _ in range(trials):
-        seed = seeder.getrandbits(48)
-        inputs = inputs_factory(random.Random(seed ^ 0x5EED))
-        engine = Engine(
-            protocol_factory(),
-            adversary_factory(),
-            n,
-            seed=seed,
-            max_rounds=max_rounds,
-            strict_termination=strict_termination,
-            record_payloads=False,
+    outcomes = []
+    for index in range(trials):
+        seed = derive_trial_seed(base_seed, FACTORY_SCOPE, index)
+        inputs = inputs_factory(random.Random(seed ^ _INPUT_STREAM_MASK))
+        outcomes.append(
+            execute_reference_trial(
+                protocol_factory(),
+                adversary_factory(),
+                n,
+                trial_index=index,
+                seed=seed,
+                inputs=inputs,
+                max_rounds=max_rounds,
+                strict_termination=strict_termination,
+            )
         )
-        result = engine.run(inputs)
-        hit_horizon = result.decision_round is None
-        if hit_horizon:
-            stats.timeouts += 1
-        stats.decision_rounds.append(
-            result.rounds if hit_horizon else result.decision_round
-        )
-        stats.crashes.append(len(result.crashed))
-        stats.decisions.append(result.common_decision())
-        stats.verdicts.append(verify_execution(result))
-    return stats
+    return TrialStats.from_outcomes(outcomes, engine_kind=ENGINE_REFERENCE)
 
 
 def run_fast_trials(
@@ -121,25 +197,20 @@ def run_fast_trials(
     """Run ``trials`` seeded executions on the vectorized engine."""
     if trials < 1:
         raise ConfigurationError(f"trials must be >= 1, got {trials}")
-    stats = TrialStats()
-    seeder = random.Random(base_seed)
-    for _ in range(trials):
-        seed = seeder.getrandbits(48)
-        inputs = inputs_factory(random.Random(seed ^ 0x5EED))
-        engine = FastEngine(
-            protocol_factory(),
-            adversary_factory(),
-            n,
-            seed=seed,
-            max_rounds=max_rounds,
-            strict_termination=False,
+    outcomes = []
+    for index in range(trials):
+        seed = derive_trial_seed(base_seed, FACTORY_SCOPE, index)
+        inputs = inputs_factory(random.Random(seed ^ _INPUT_STREAM_MASK))
+        outcomes.append(
+            execute_fast_trial(
+                protocol_factory(),
+                adversary_factory(),
+                n,
+                trial_index=index,
+                seed=seed,
+                inputs=inputs,
+                max_rounds=max_rounds,
+                strict_termination=False,
+            )
         )
-        result = engine.run(inputs)
-        if result.decision_round is None:
-            stats.timeouts += 1
-            stats.decision_rounds.append(result.rounds)
-        else:
-            stats.decision_rounds.append(result.decision_round)
-        stats.crashes.append(result.crashes_used)
-        stats.decisions.append(result.decision)
-    return stats
+    return TrialStats.from_outcomes(outcomes, engine_kind=ENGINE_FAST)

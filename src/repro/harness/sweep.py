@@ -1,9 +1,13 @@
 """Parameter sweeps over (protocol, adversary, n, t) grids.
 
-A :class:`Sweep` describes a grid; :func:`run_sweep` executes every
-cell with the appropriate engine and returns :class:`SweepResult` rows
-that the export module can serialise and the plotting/analysis layer
-of a downstream user can consume directly.
+A :class:`Sweep` describes a grid; :func:`sweep_plan` lowers it to a
+declarative :class:`~repro.harness.exec.spec.ExecutionPlan` (one
+:class:`~repro.harness.exec.spec.TrialBatch` per cell), and
+:func:`run_sweep` executes that plan on any
+:class:`~repro.harness.exec.executor.Executor` — serial by default,
+parallel and/or cached when one is passed in — returning
+:class:`SweepResult` rows that the export module can serialise and the
+plotting/analysis layer of a downstream user can consume directly.
 
 The experiments in :mod:`repro.harness.experiments` are hand-shaped
 for the paper's specific claims; sweeps are the general-purpose
@@ -16,23 +20,33 @@ counterpart for users exploring their own configurations, e.g.::
         t_of=lambda n: n // 2,
         trials=10,
     )
-    rows = run_sweep(sweep)
+    rows = run_sweep(sweep)                              # serial
+    rows = run_sweep(sweep, executor=make_executor(4))   # 4 workers
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
-from repro.adversary.registry import make_adversary
 from repro.analysis.bounds import expected_rounds_theta
 from repro.errors import ConfigurationError
-from repro.harness.runner import run_reference_trials
-from repro.harness.workloads import worst_case_split
-from repro.protocols.registry import make_protocol
+from repro.harness.exec import (
+    ExecutionPlan,
+    Executor,
+    SerialExecutor,
+    TrialBatch,
+    TrialSpec,
+    available_input_kinds,
+)
+from repro.harness.runner import TrialStats
+from repro.harness.workloads import half_split, worst_case_split
 
-__all__ = ["Sweep", "SweepResult", "run_sweep"]
+__all__ = ["Sweep", "SweepResult", "run_sweep", "sweep_plan"]
+
+#: Input factories accepted (for backwards compatibility) in place of
+#: the named kinds the spec layer uses.
+_INPUT_CALLABLES = {worst_case_split: "worst", half_split: "half"}
 
 
 @dataclass(frozen=True)
@@ -45,9 +59,13 @@ class Sweep:
         ns: System sizes.
         t_of: Budget as a function of ``n``.
         trials: Monte-Carlo trials per cell.
-        base_seed: Seed root; every cell derives its own stream.
-        inputs: Input-vector factory given ``n`` (default: the
-            55%-ones worst-case split).
+        base_seed: Seed root; every cell derives its own stream from
+            its spec's content hash.
+        inputs: Input-workload kind (``"worst"``, ``"half"``,
+            ``"unanimous0"``, ``"unanimous1"``, ``"random"``).  The
+            :func:`~repro.harness.workloads.worst_case_split` and
+            :func:`~repro.harness.workloads.half_split` callables are
+            still accepted as aliases for their named kinds.
         max_rounds_of: Horizon as a function of ``n`` (default: the
             engine default).
     """
@@ -58,7 +76,7 @@ class Sweep:
     t_of: Callable[[int], int]
     trials: int = 5
     base_seed: int = 0
-    inputs: Callable[[int], Sequence[int]] = worst_case_split
+    inputs: Union[str, Callable[[int], Sequence[int]]] = "worst"
     max_rounds_of: Optional[Callable[[int], int]] = None
 
     def cells(self) -> List[Tuple[str, str, int]]:
@@ -69,6 +87,24 @@ class Sweep:
             for a in self.adversaries
             for n in self.ns
         ]
+
+    def input_kind(self) -> str:
+        """The spec-layer input kind this sweep resolves to."""
+        if isinstance(self.inputs, str):
+            if self.inputs not in available_input_kinds():
+                raise ConfigurationError(
+                    f"unknown input kind {self.inputs!r}; available: "
+                    f"{available_input_kinds()}"
+                )
+            return self.inputs
+        try:
+            return _INPUT_CALLABLES[self.inputs]
+        except (KeyError, TypeError):
+            raise ConfigurationError(
+                "sweep inputs must be a named kind "
+                f"({available_input_kinds()}) or one of the workload "
+                "factories worst_case_split/half_split"
+            ) from None
 
 
 @dataclass
@@ -101,47 +137,72 @@ class SweepResult:
         return self.mean_rounds / max(self.theta_shape, 1.0)
 
 
-def run_sweep(sweep: Sweep) -> List[SweepResult]:
-    """Execute every cell of ``sweep`` on the reference engine."""
+def sweep_plan(sweep: Sweep) -> ExecutionPlan:
+    """Lower ``sweep`` to one reference-engine batch per cell.
+
+    Each cell's spec is complete and self-contained: workers build a
+    fresh protocol, adversary, and (for adversaries that inspect their
+    target) probe *per trial*, so no instance is shared across the
+    trials of a cell.
+    """
     if sweep.trials < 1:
         raise ConfigurationError(
             f"trials must be >= 1, got {sweep.trials}"
         )
-    results: List[SweepResult] = []
-    for index, (proto_name, adv_name, n) in enumerate(sweep.cells()):
+    inputs = sweep.input_kind()
+    batches = []
+    for proto_name, adv_name, n in sweep.cells():
         t = sweep.t_of(n)
         if not 0 <= t <= n:
             raise ConfigurationError(
                 f"t_of({n}) = {t} outside [0, {n}]"
             )
-        probe = make_protocol(proto_name, n, t)
-        max_rounds = (
-            sweep.max_rounds_of(n) if sweep.max_rounds_of else None
-        )
-        stats = run_reference_trials(
-            lambda pn=proto_name, n=n, t=t: make_protocol(pn, n, t),
-            lambda an=adv_name, n=n, t=t, probe=probe: make_adversary(
-                an, n, t, probe
+        spec = TrialSpec(
+            protocol=proto_name,
+            adversary=adv_name,
+            n=n,
+            t=t,
+            inputs=inputs,
+            max_rounds=(
+                sweep.max_rounds_of(n) if sweep.max_rounds_of else None
             ),
-            n,
-            lambda rng, n=n: sweep.inputs(n),
-            trials=sweep.trials,
-            base_seed=sweep.base_seed + 7919 * index,
-            max_rounds=max_rounds,
         )
-        summary = stats.rounds_summary()
-        results.append(
-            SweepResult(
-                protocol=proto_name,
-                adversary=adv_name,
-                n=n,
-                t=t,
-                mean_rounds=summary.mean,
-                std_rounds=summary.std,
-                mean_crashes=sum(stats.crashes) / len(stats.crashes),
-                timeouts=stats.timeouts,
-                violations=stats.violation_count(),
-                theta_shape=expected_rounds_theta(n, t),
+        batches.append(
+            TrialBatch(
+                spec=spec,
+                trials=sweep.trials,
+                base_seed=sweep.base_seed,
+                label=f"{proto_name}/{adv_name}/n={n}",
             )
         )
+    return ExecutionPlan(batches=tuple(batches))
+
+
+def run_sweep(
+    sweep: Sweep, *, executor: Optional[Executor] = None
+) -> List[SweepResult]:
+    """Execute every cell of ``sweep`` on the reference engine."""
+    plan = sweep_plan(sweep)
+    if executor is None:
+        executor = SerialExecutor()
+    results: List[SweepResult] = []
+    for batch, stats in zip(plan, executor.run_plan(plan)):
+        results.append(_cell_result(batch, stats))
     return results
+
+
+def _cell_result(batch: TrialBatch, stats: TrialStats) -> SweepResult:
+    spec = batch.spec
+    summary = stats.rounds_summary()
+    return SweepResult(
+        protocol=spec.protocol,
+        adversary=spec.adversary,
+        n=spec.n,
+        t=spec.t,
+        mean_rounds=summary.mean,
+        std_rounds=summary.std,
+        mean_crashes=sum(stats.crashes) / len(stats.crashes),
+        timeouts=stats.timeouts,
+        violations=stats.violation_count(),
+        theta_shape=expected_rounds_theta(spec.n, spec.t),
+    )

@@ -67,6 +67,12 @@ ALL_MODULES = [
     "repro.analysis.valency",
     "repro.harness",
     "repro.harness.ablations",
+    "repro.harness.exec",
+    "repro.harness.exec.builders",
+    "repro.harness.exec.cache",
+    "repro.harness.exec.executor",
+    "repro.harness.exec.spec",
+    "repro.harness.exec.trial",
     "repro.harness.experiments",
     "repro.harness.export",
     "repro.harness.report",
