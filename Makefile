@@ -3,11 +3,13 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: lint replint ruff test bench check experiments-quick
+.PHONY: lint replint ruff test bench bench-pytest check experiments-quick
 
-# Repo-specific static analysis (REP001-REP004).
+# Repo-specific static analysis (REP001-REP005).  Benchmarks and
+# examples are included so REP005 (dead heavyweight imports) covers
+# the perf-critical files too.
 replint:
-	python -m repro.lint src
+	python -m repro.lint src benchmarks examples
 
 # Generic python lint; requires `pip install -e '.[lint]'`.  Skips
 # with a notice when ruff is absent so `make check` stays usable in
@@ -25,7 +27,16 @@ lint: ruff replint
 test:
 	python -m pytest -x -q
 
+# Refresh every BENCH_*.json perf artifact: each bench_* script has a
+# __main__ that measures and writes its own BENCH_<name>.json at the
+# repo root (benchmarks/_emit.py fixes the format).
 bench:
+	python benchmarks/bench_batch_engine.py
+	python benchmarks/bench_exec.py
+
+# The pytest-benchmark harness over the same files (contract checks +
+# interactive timing tables; does not write BENCH_*.json).
+bench-pytest:
 	python -m pytest benchmarks/ --benchmark-only
 
 # Fast end-to-end smoke of the parallel executor + result cache on the

@@ -1,0 +1,165 @@
+"""Trial-throughput benchmark: BatchFastEngine vs per-trial FastEngine.
+
+The batch engine's reason to exist is raw trial throughput, so this is
+the repo's headline perf artifact: for each (adversary, n) cell it
+times a Python loop of scalar ``FastEngine`` runs against one
+``BatchFastEngine.run`` call over the same configuration and records
+trials/sec plus the speedup in ``BENCH_batch_engine.json``.
+
+Run with::
+
+    python benchmarks/bench_batch_engine.py           # full measurement
+    python benchmarks/bench_batch_engine.py --smoke   # CI: seconds, tiny n
+
+The full grid's headline cell (benign, n=1000, 10^4 batched trials) is
+the acceptance number: the batch engine must clear a 10x speedup
+there.  Smoke mode keeps the same document shape at toy sizes so CI
+can assert the artifact stays well-formed without paying for the
+measurement.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import Dict, List, Tuple
+
+from _emit import emit, ensure_import_path
+
+ensure_import_path()
+
+from repro.protocols import SynRanProtocol  # noqa: E402
+from repro.sim.batch import (  # noqa: E402
+    BatchBenign,
+    BatchFastEngine,
+    BatchRandomCrash,
+)
+from repro.sim.fast import (  # noqa: E402
+    FastBenign,
+    FastEngine,
+    FastRandomCrash,
+)
+
+#: adversary name -> (scalar factory, batch factory); both take t.
+_ADVERSARIES = {
+    "benign": (lambda t: FastBenign(), lambda t: BatchBenign()),
+    "random": (
+        lambda t: FastRandomCrash(t, rate=0.1),
+        lambda t: BatchRandomCrash(t, rate=0.1),
+    ),
+}
+
+
+def _inputs(n: int) -> List[int]:
+    return [i % 2 for i in range(n)]
+
+
+def _time_scalar(name: str, n: int, trials: int) -> float:
+    factory = _ADVERSARIES[name][0]
+    inputs = _inputs(n)
+    start = time.perf_counter()
+    for seed in range(trials):
+        FastEngine(
+            SynRanProtocol(),
+            factory(n),
+            n,
+            seed=seed,
+            strict_termination=False,
+        ).run(inputs)
+    return time.perf_counter() - start
+
+
+def _time_batch(name: str, n: int, trials: int) -> float:
+    factory = _ADVERSARIES[name][1]
+    engine = BatchFastEngine(
+        SynRanProtocol(), factory(n), n, strict_termination=False
+    )
+    inputs = _inputs(n)
+    seeds = list(range(trials))
+    start = time.perf_counter()
+    engine.run(inputs, seeds)
+    return time.perf_counter() - start
+
+
+def _measure_cell(
+    name: str, n: int, scalar_trials: int, batch_trials: int
+) -> Dict[str, object]:
+    scalar_seconds = _time_scalar(name, n, scalar_trials)
+    batch_seconds = _time_batch(name, n, batch_trials)
+    scalar_tps = scalar_trials / scalar_seconds
+    batch_tps = batch_trials / batch_seconds
+    return {
+        "adversary": name,
+        "n": n,
+        "scalar_trials": scalar_trials,
+        "batch_trials": batch_trials,
+        "scalar_seconds": round(scalar_seconds, 6),
+        "batch_seconds": round(batch_seconds, 6),
+        "scalar_trials_per_sec": round(scalar_tps, 1),
+        "batch_trials_per_sec": round(batch_tps, 1),
+        "speedup": round(batch_tps / scalar_tps, 2),
+    }
+
+
+def _grid(smoke: bool) -> List[Tuple[str, int, int, int]]:
+    """(adversary, n, scalar_trials, batch_trials) cells to measure."""
+    if smoke:
+        return [("benign", 64, 50, 200)]
+    return [
+        ("benign", 100, 2_000, 10_000),
+        ("benign", 1000, 1_000, 10_000),  # the acceptance cell
+        ("random", 1000, 1_000, 10_000),
+    ]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny grid for CI: same document shape, seconds of runtime",
+    )
+    args = parser.parse_args(argv)
+
+    results = [
+        _measure_cell(name, n, scalar, batch)
+        for name, n, scalar, batch in _grid(args.smoke)
+    ]
+    path = emit(
+        "batch_engine",
+        config={
+            "inputs": "alternating bits (i % 2)",
+            "protocol": "synran",
+            "t": "n (full resilience budget)",
+            "scalar_engine": "repro.sim.fast.FastEngine",
+            "batch_engine": "repro.sim.batch.BatchFastEngine",
+            "headline_cell": {"adversary": "benign", "n": 1000},
+        },
+        results=results,
+        smoke=args.smoke,
+    )
+
+    for row in results:
+        print(
+            f"{row['adversary']:>8} n={row['n']:<5} "
+            f"scalar {row['scalar_trials_per_sec']:>9.1f}/s  "
+            f"batch {row['batch_trials_per_sec']:>10.1f}/s  "
+            f"speedup {row['speedup']:.2f}x"
+        )
+    print(f"wrote {path}")
+
+    if not args.smoke:
+        headline = next(
+            r for r in results if r["adversary"] == "benign" and r["n"] == 1000
+        )
+        if headline["speedup"] < 10:
+            print(
+                f"WARNING: headline speedup {headline['speedup']}x is "
+                "below the 10x acceptance bar"
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

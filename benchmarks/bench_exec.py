@@ -6,12 +6,25 @@ cells) and asserts the core contracts end to end: parallel execution
 returns byte-identical outcomes, and a warm cache answers without
 re-running a single trial.
 
-Run with::
+Two entry points:
 
-    pytest benchmarks/bench_exec.py --benchmark-only
+* ``pytest benchmarks/bench_exec.py --benchmark-only`` — contract
+  checks under the pytest-benchmark timer.
+* ``python benchmarks/bench_exec.py [--smoke]`` — measures the same
+  substrate (plus the batch-engine variant of the grid) and writes the
+  machine-readable ``BENCH_exec.json`` artifact (``make bench``).
 """
 
-from repro.harness.exec import (
+import argparse
+import tempfile
+import time
+
+from _emit import emit, ensure_import_path
+
+ensure_import_path()
+
+from repro.harness.exec import (  # noqa: E402
+    ENGINE_BATCH,
     ENGINE_FAST,
     ExecutionPlan,
     ParallelExecutor,
@@ -22,7 +35,7 @@ from repro.harness.exec import (
 )
 
 
-def _plan() -> ExecutionPlan:
+def _plan(engine: str = ENGINE_FAST, sizes=(128, 256, 512), trials: int = 8):
     return ExecutionPlan(
         batches=tuple(
             TrialBatch(
@@ -32,13 +45,13 @@ def _plan() -> ExecutionPlan:
                     n=n,
                     t=n,
                     inputs="worst",
-                    engine=ENGINE_FAST,
+                    engine=engine,
                 ),
-                trials=8,
+                trials=trials,
                 base_seed=101,
-                label=f"bench-exec/n={n}",
+                label=f"bench-exec/{engine}/n={n}",
             )
-            for n in (128, 256, 512)
+            for n in sizes
         )
     )
 
@@ -74,3 +87,89 @@ def test_warm_cache_skips_execution(benchmark, tmp_path):
     warm = benchmark.pedantic(resume, rounds=1, iterations=1)
     assert warm.cache_hits == len(plan)
     assert warm.cache_misses == 0
+
+
+# ----------------------------------------------------------------------
+# BENCH_exec.json emission (``python benchmarks/bench_exec.py``)
+# ----------------------------------------------------------------------
+
+
+def _timed(label, thunk):
+    start = time.perf_counter()
+    value = thunk()
+    seconds = time.perf_counter() - start
+    return {"case": label, "seconds": round(seconds, 6)}, value
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="measure the execution substrate; write BENCH_exec.json"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny grid for CI: same document shape, seconds of runtime",
+    )
+    args = parser.parse_args(argv)
+
+    sizes = (64, 128) if args.smoke else (128, 256, 512)
+    trials = 4 if args.smoke else 8
+    fast_plan = _plan(ENGINE_FAST, sizes, trials)
+    batch_plan = _plan(ENGINE_BATCH, sizes, trials)
+
+    results = []
+    row, serial_fast = _timed(
+        "serial-fast", lambda: SerialExecutor().run_plan(fast_plan)
+    )
+    results.append(row)
+
+    row, serial_batch = _timed(
+        "serial-batch", lambda: SerialExecutor().run_plan(batch_plan)
+    )
+    results.append(row)
+
+    def run_parallel():
+        with ParallelExecutor(2) as executor:
+            return [executor.run_outcomes(b) for b in fast_plan]
+
+    row, parallel_fast = _timed("parallel-2-fast", run_parallel)
+    results.append(row)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        SerialExecutor(cache=ResultCache(tmp)).run_plan(fast_plan)
+
+        def resume():
+            executor = SerialExecutor(cache=ResultCache(tmp))
+            executor.run_plan(fast_plan)
+            return executor
+
+        row, warm = _timed("warm-cache-fast", resume)
+        results.append(row)
+
+    # The contracts the pytest entry point asserts, re-checked here so
+    # a bad measurement can't silently produce a plausible artifact.
+    assert parallel_fast == [
+        SerialExecutor().run_outcomes(b) for b in fast_plan
+    ]
+    assert warm.cache_hits == len(fast_plan) and warm.cache_misses == 0
+    assert len(serial_fast) == len(serial_batch) == len(fast_plan)
+
+    path = emit(
+        "exec",
+        config={
+            "grid": "synran/tally-attack, worst-case split inputs",
+            "sizes": list(sizes),
+            "trials_per_cell": trials,
+            "cells": len(fast_plan),
+        },
+        results=results,
+        smoke=args.smoke,
+    )
+    for row in results:
+        print(f"{row['case']:>16}: {row['seconds']:.3f}s")
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -27,9 +27,11 @@ compatibility note.
 """
 
 from repro.harness.exec.builders import (
+    available_batch_adversaries,
     available_fast_adversaries,
     available_input_kinds,
     build_adversary,
+    build_batch_adversary,
     build_fast_adversary,
     build_inputs,
     build_protocol,
@@ -42,6 +44,7 @@ from repro.harness.exec.executor import (
     make_executor,
 )
 from repro.harness.exec.spec import (
+    ENGINE_BATCH,
     ENGINE_FAST,
     ENGINE_KINDS,
     ENGINE_REFERENCE,
@@ -55,10 +58,12 @@ from repro.harness.exec.trial import (
     TrialOutcome,
     execute_fast_trial,
     execute_reference_trial,
+    run_spec_batch,
     run_spec_trial,
 )
 
 __all__ = [
+    "ENGINE_BATCH",
     "ENGINE_FAST",
     "ENGINE_KINDS",
     "ENGINE_REFERENCE",
@@ -70,9 +75,11 @@ __all__ = [
     "TrialBatch",
     "TrialOutcome",
     "TrialSpec",
+    "available_batch_adversaries",
     "available_fast_adversaries",
     "available_input_kinds",
     "build_adversary",
+    "build_batch_adversary",
     "build_fast_adversary",
     "build_inputs",
     "build_protocol",
@@ -81,6 +88,7 @@ __all__ = [
     "execute_fast_trial",
     "execute_reference_trial",
     "make_executor",
+    "run_spec_batch",
     "run_spec_trial",
     "spec_params",
 ]

@@ -34,7 +34,7 @@ from repro.adversary.random_crash import RandomCrashAdversary
 from repro.adversary.registry import make_adversary
 from repro.adversary.static import StaticAdversary
 from repro.errors import ConfigurationError
-from repro.harness.exec.spec import ENGINE_FAST, TrialSpec
+from repro.harness.exec.spec import ENGINE_BATCH, ENGINE_FAST, TrialSpec
 from repro.harness.workloads import (
     half_split,
     random_inputs,
@@ -48,6 +48,13 @@ from repro.protocols.gp_hybrid import GPHybridProtocol
 from repro.protocols.registry import make_protocol
 from repro.protocols.symmetric import SymmetricRanProtocol
 from repro.protocols.synran import SynRanProtocol
+from repro.sim.batch import (
+    BatchBenign,
+    BatchFastAdversary,
+    BatchOblivious,
+    BatchRandomCrash,
+    BatchTallyAttack,
+)
 from repro.sim.fast import (
     FastAdversary,
     FastBenign,
@@ -57,9 +64,11 @@ from repro.sim.fast import (
 )
 
 __all__ = [
+    "available_batch_adversaries",
     "available_fast_adversaries",
     "available_input_kinds",
     "build_adversary",
+    "build_batch_adversary",
     "build_fast_adversary",
     "build_inputs",
     "build_protocol",
@@ -150,6 +159,27 @@ _FAST_ADVERSARIES: Dict[
 }
 
 
+# Mirrors _FAST_ADVERSARIES name-for-name: every fast-engine adversary
+# has a batched counterpart, so flipping a spec between engine="fast"
+# and engine="batch" never changes which attacks are expressible.
+_BATCH_ADVERSARIES: Dict[
+    str, Callable[[int, Dict[str, object]], BatchFastAdversary]
+] = {
+    "benign": lambda t, p: BatchBenign(),
+    "random": lambda t, p: BatchRandomCrash(t, **{"rate": 0.1, **p}),
+    "tally-attack": lambda t, p: BatchTallyAttack(t, **p),
+    "tally-split-only": lambda t, p: BatchTallyAttack(
+        t, enable_bleed=False, **p
+    ),
+    "tally-bleed-only": lambda t, p: BatchTallyAttack(
+        t, enable_split=False, **p
+    ),
+    "oblivious-calibrated": lambda t, p: BatchOblivious.from_schedule(
+        t, calibrated_drip_schedule
+    ),
+}
+
+
 _INPUTS: Dict[
     str, Callable[[int, random.Random, Dict[str, object]], Sequence[int]]
 ] = {
@@ -173,6 +203,11 @@ def available_input_kinds() -> List[str]:
 def available_fast_adversaries() -> List[str]:
     """Sorted adversary names usable with the fast engine."""
     return sorted(_FAST_ADVERSARIES)
+
+
+def available_batch_adversaries() -> List[str]:
+    """Sorted adversary names usable with the batch engine."""
+    return sorted(_BATCH_ADVERSARIES)
 
 
 def build_protocol(spec: TrialSpec) -> object:
@@ -242,6 +277,23 @@ def build_fast_adversary(spec: TrialSpec) -> FastAdversary:
         raise ConfigurationError(
             f"adversary {spec.adversary!r} has no fast-engine "
             f"implementation; available: {available_fast_adversaries()}"
+        ) from None
+    return factory(spec.t, _params(spec.adversary_params))
+
+
+def build_batch_adversary(spec: TrialSpec) -> BatchFastAdversary:
+    """A fresh batch-engine adversary for ``spec``."""
+    if spec.engine != ENGINE_BATCH:
+        raise ConfigurationError(
+            f"spec engine is {spec.engine!r}; build_batch_adversary "
+            "requires an engine='batch' spec"
+        )
+    try:
+        factory = _BATCH_ADVERSARIES[spec.adversary]
+    except KeyError:
+        raise ConfigurationError(
+            f"adversary {spec.adversary!r} has no batch-engine "
+            f"implementation; available: {available_batch_adversaries()}"
         ) from None
     return factory(spec.t, _params(spec.adversary_params))
 

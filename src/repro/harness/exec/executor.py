@@ -27,8 +27,17 @@ from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
 from repro.harness.exec.cache import ResultCache
-from repro.harness.exec.spec import ExecutionPlan, TrialBatch, TrialSpec
-from repro.harness.exec.trial import TrialOutcome, run_spec_trial
+from repro.harness.exec.spec import (
+    ENGINE_BATCH,
+    ExecutionPlan,
+    TrialBatch,
+    TrialSpec,
+)
+from repro.harness.exec.trial import (
+    TrialOutcome,
+    run_spec_batch,
+    run_spec_trial,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.harness.runner import TrialStats
@@ -47,8 +56,12 @@ def _run_chunk(
     """Worker entry point: run a slice of a batch's trial indices.
 
     Module-level (not a closure or bound method) so the process pool
-    can resolve it by import in every worker.
+    can resolve it by import in every worker.  Batch-engine specs
+    advance the whole slice in one vectorized call; per-trial seeds are
+    pure hashes either way, so the two paths chunk identically.
     """
+    if spec.engine == ENGINE_BATCH:
+        return run_spec_batch(spec, indices, base_seed)
     return [run_spec_trial(spec, i, base_seed) for i in indices]
 
 

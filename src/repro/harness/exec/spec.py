@@ -42,6 +42,7 @@ from typing import Iterator, Optional, Tuple
 from repro.errors import ConfigurationError
 
 __all__ = [
+    "ENGINE_BATCH",
     "ENGINE_FAST",
     "ENGINE_KINDS",
     "ENGINE_REFERENCE",
@@ -55,7 +56,8 @@ __all__ = [
 
 ENGINE_REFERENCE = "reference"
 ENGINE_FAST = "fast"
-ENGINE_KINDS = (ENGINE_REFERENCE, ENGINE_FAST)
+ENGINE_BATCH = "batch"
+ENGINE_KINDS = (ENGINE_REFERENCE, ENGINE_FAST, ENGINE_BATCH)
 
 #: Seed-derivation scope used by the factory-based wrappers
 #: (:func:`repro.harness.runner.run_reference_trials` and friends),
@@ -115,7 +117,9 @@ class TrialSpec:
             constructor parameters as canonical ``(key, value)`` tuples
             — build them with :func:`spec_params`.
         max_rounds: Round horizon (``None`` = engine default).
-        engine: ``"reference"`` or ``"fast"``.
+        engine: ``"reference"``, ``"fast"``, or ``"batch"`` (the
+            trial-axis vectorized engine; same adversary names as
+            ``"fast"``, executed whole-chunk per NumPy call).
         strict_termination: Raise on horizon instead of recording a
             timeout.
     """

@@ -22,11 +22,13 @@ from typing import Any, Dict, List, Optional, Sequence
 from repro.errors import ConfigurationError
 from repro.harness.exec.builders import (
     build_adversary,
+    build_batch_adversary,
     build_fast_adversary,
     build_inputs,
     build_protocol,
 )
-from repro.harness.exec.spec import ENGINE_FAST, TrialSpec
+from repro.harness.exec.spec import ENGINE_BATCH, ENGINE_FAST, TrialSpec
+from repro.sim.batch import BatchFastEngine
 from repro.sim.checks import verify_execution
 from repro.sim.engine import Engine
 from repro.sim.fast import FastEngine
@@ -36,8 +38,15 @@ __all__ = [
     "TrialOutcome",
     "execute_fast_trial",
     "execute_reference_trial",
+    "run_spec_batch",
     "run_spec_trial",
 ]
+
+#: Input kinds whose vectors depend on the trial's input stream.  The
+#: batch path builds the input vector once per chunk for every other
+#: kind (they are pure functions of ``n``), which keeps input
+#: construction off the per-trial critical path.
+_SAMPLED_INPUT_KINDS = frozenset({"random"})
 
 #: XOR mask separating the input-sampling stream from the engine stream
 #: (kept from the factory-based drivers so both seed the same way).
@@ -214,6 +223,63 @@ def execute_fast_trial(
     )
 
 
+def run_spec_batch(
+    spec: TrialSpec, trial_indices: Sequence[int], base_seed: int
+) -> List[TrialOutcome]:
+    """Execute a slice of an ``engine="batch"`` spec's trials at once.
+
+    The batch counterpart of :func:`run_spec_trial`: one call advances
+    every listed trial in lockstep through
+    :class:`~repro.sim.batch.BatchFastEngine`.  Per-trial seeds are the
+    same ``(base_seed, spec_hash, trial_index)`` hashes as everywhere
+    else and each trial's randomness is a pure function of its own
+    seed, so outcomes are byte-identical however the indices are
+    chunked across calls or workers — the executor contract the serial
+    and process-pool paths already rely on.
+    """
+    if spec.engine != ENGINE_BATCH:
+        raise ConfigurationError(
+            f"spec engine is {spec.engine!r}; run_spec_batch requires "
+            "an engine='batch' spec"
+        )
+    indices = list(trial_indices)
+    if not indices:
+        return []
+    seeds = [spec.trial_seed(base_seed, i) for i in indices]
+    if spec.inputs in _SAMPLED_INPUT_KINDS:
+        inputs = [
+            build_inputs(spec, random.Random(seed ^ _INPUT_STREAM_MASK))
+            for seed in seeds
+        ]
+    else:
+        inputs = build_inputs(spec, random.Random(0))
+    engine = BatchFastEngine(
+        build_protocol(spec),
+        build_batch_adversary(spec),
+        spec.n,
+        max_rounds=spec.max_rounds,
+        strict_termination=spec.strict_termination,
+    )
+    result = engine.run(inputs, seeds)
+    outcomes = []
+    for slot, (index, seed) in enumerate(zip(indices, seeds)):
+        trial = result.trial(slot)
+        outcomes.append(
+            TrialOutcome(
+                trial_index=index,
+                seed=seed,
+                rounds=trial.rounds,
+                decision_round=trial.decision_round,
+                timeout=trial.decision_round is None,
+                crashes=trial.crashes_used,
+                decision=trial.decision,
+                crashes_per_round=trial.crashes_per_round,
+                senders_per_round=trial.senders_per_round,
+            )
+        )
+    return outcomes
+
+
 def run_spec_trial(
     spec: TrialSpec, trial_index: int, base_seed: int
 ) -> TrialOutcome:
@@ -227,6 +293,8 @@ def run_spec_trial(
     target) a *separate* fresh probe protocol, so no state leaks
     between trials or between the adversary's view and the execution.
     """
+    if spec.engine == ENGINE_BATCH:
+        return run_spec_batch(spec, [trial_index], base_seed)[0]
     seed = spec.trial_seed(base_seed, trial_index)
     inputs = build_inputs(spec, random.Random(seed ^ _INPUT_STREAM_MASK))
     if spec.engine == ENGINE_FAST:

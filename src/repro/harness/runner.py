@@ -32,6 +32,7 @@ from typing import Callable, Iterable, List, Optional, Sequence
 from repro.analysis.stats import Summary, summarize
 from repro.errors import ConfigurationError
 from repro.harness.exec.spec import (
+    ENGINE_BATCH,
     ENGINE_FAST,
     ENGINE_KINDS,
     ENGINE_REFERENCE,
@@ -43,6 +44,7 @@ from repro.harness.exec.trial import (
     execute_fast_trial,
     execute_reference_trial,
 )
+from repro.sim.batch import BatchFastAdversary, BatchFastEngine
 from repro.sim.fast import FastAdversary
 from repro.sim.model import Verdict
 
@@ -64,10 +66,11 @@ class TrialStats:
         verdicts: Per-trial consensus verdicts (reference engine only;
             empty for fast-engine runs, whose checks are structural).
         timeouts: Number of trials that hit the round horizon.
-        engine_kind: Which engine produced the batch (``"reference"``
-            or ``"fast"``).  Fast-engine batches carry no verdicts, so
-            the verdict-based checks below refuse to answer for them
-            rather than report a vacuous pass.
+        engine_kind: Which engine produced the batch (``"reference"``,
+            ``"fast"``, or ``"batch"``).  Fast- and batch-engine
+            batches carry no verdicts, so the verdict-based checks
+            below refuse to answer for them rather than report a
+            vacuous pass.
     """
 
     decision_rounds: List[int] = field(default_factory=list)
@@ -193,13 +196,63 @@ def run_fast_trials(
     trials: int,
     base_seed: int = 0,
     max_rounds: Optional[int] = None,
+    batch: bool = False,
 ) -> TrialStats:
-    """Run ``trials`` seeded executions on the vectorized engine."""
+    """Run ``trials`` seeded executions on the vectorized engine.
+
+    With ``batch=True`` the trials advance in lockstep through one
+    :class:`~repro.sim.batch.BatchFastEngine` call instead of a Python
+    loop over :class:`~repro.sim.fast.FastEngine` runs;
+    ``adversary_factory`` must then build a
+    :class:`~repro.sim.batch.BatchFastAdversary`.  Per-trial seeds are
+    identical between the two modes (the same ``FACTORY_SCOPE``
+    hashes), so coin-free configurations produce identical outcomes
+    and coin-flipping ones agree in distribution.
+    """
     if trials < 1:
         raise ConfigurationError(f"trials must be >= 1, got {trials}")
+    seeds = [
+        derive_trial_seed(base_seed, FACTORY_SCOPE, index)
+        for index in range(trials)
+    ]
+    if batch:
+        adversary = adversary_factory()
+        if not isinstance(adversary, BatchFastAdversary):
+            raise ConfigurationError(
+                "run_fast_trials(batch=True) needs a BatchFastAdversary "
+                f"factory, got {type(adversary).__name__}"
+            )
+        inputs = [
+            inputs_factory(random.Random(seed ^ _INPUT_STREAM_MASK))
+            for seed in seeds
+        ]
+        engine = BatchFastEngine(
+            protocol_factory(),
+            adversary,
+            n,
+            max_rounds=max_rounds,
+            strict_termination=False,
+        )
+        result = engine.run(inputs, seeds)
+        outcomes = []
+        for index, seed in enumerate(seeds):
+            trial = result.trial(index)
+            outcomes.append(
+                TrialOutcome(
+                    trial_index=index,
+                    seed=seed,
+                    rounds=trial.rounds,
+                    decision_round=trial.decision_round,
+                    timeout=trial.decision_round is None,
+                    crashes=trial.crashes_used,
+                    decision=trial.decision,
+                    crashes_per_round=trial.crashes_per_round,
+                    senders_per_round=trial.senders_per_round,
+                )
+            )
+        return TrialStats.from_outcomes(outcomes, engine_kind=ENGINE_BATCH)
     outcomes = []
-    for index in range(trials):
-        seed = derive_trial_seed(base_seed, FACTORY_SCOPE, index)
+    for index, seed in zip(range(trials), seeds):
         inputs = inputs_factory(random.Random(seed ^ _INPUT_STREAM_MASK))
         outcomes.append(
             execute_fast_trial(

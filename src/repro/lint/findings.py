@@ -28,7 +28,7 @@ class Finding:
     """One rule violation at one source location.
 
     Attributes:
-        rule: Rule identifier (``REP001`` .. ``REP004``).
+        rule: Rule identifier (``REP001`` .. ``REP005``).
         file: Path of the offending file, as given to the runner.
         line: 1-based line of the offending construct.
         col: 0-based column offset.

@@ -24,6 +24,11 @@ Rule summary (full prose in ``docs/static_analysis.md``):
 * **REP004** — paper-reference hygiene.  A docstring citing
   ``Lemma X.Y`` / ``Theorem N`` must cite one that exists in
   ``PAPER.md``.
+* **REP005** — no dead heavyweight imports.  Importing numpy / scipy /
+  pandas / matplotlib and never using the binding is flagged: in
+  engines and benchmarks a heavy import is a statement of intent
+  ("this module is vectorized"), and a dead one misleads readers and
+  slows every worker spawn.
 """
 
 from __future__ import annotations
@@ -45,10 +50,16 @@ __all__ = [
     "check_rep002",
     "check_rep003",
     "check_rep004",
+    "check_rep005",
     "paper_references",
 ]
 
-ALL_RULES = ("REP001", "REP002", "REP003", "REP004")
+ALL_RULES = ("REP001", "REP002", "REP003", "REP004", "REP005")
+
+#: Top-level packages REP005 treats as heavyweight: importing one of
+#: these and never touching the binding costs worker-spawn time and
+#: misstates the module's dependencies.
+_HEAVY_MODULES = frozenset({"numpy", "scipy", "pandas", "matplotlib"})
 
 #: numpy.random attributes that construct *seedable* generators and are
 #: therefore fine to call (with a seed; ``default_rng``/``RandomState``
@@ -291,6 +302,76 @@ def check_rep001(ctx: FileContext, config: RuleConfig) -> List[Finding]:
                 "injected numpy.random.Generator",
                 path,
             )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# REP005 — no dead heavyweight imports
+# ----------------------------------------------------------------------
+
+
+def check_rep005(ctx: FileContext, config: RuleConfig) -> List[Finding]:
+    """Flag numpy/scipy/pandas/matplotlib imports whose binding is
+    never referenced anywhere else in the module."""
+    # local binding name -> (import node, dotted origin for the message)
+    heavy: Dict[str, Tuple[ast.stmt, str]] = {}
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                top = alias.name.split(".")[0]
+                if top not in _HEAVY_MODULES:
+                    continue
+                # ``import numpy.random`` binds ``numpy``;
+                # ``import numpy.random as nr`` binds ``nr``.
+                local = alias.asname or top
+                heavy.setdefault(local, (node, alias.name))
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or not node.module:
+                continue
+            if node.module.split(".")[0] not in _HEAVY_MODULES:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                heavy.setdefault(
+                    local, (node, f"{node.module}.{alias.name}")
+                )
+    if not heavy:
+        return []
+
+    used = {
+        node.id for node in ast.walk(ctx.tree) if isinstance(node, ast.Name)
+    }
+    # A re-export counts as a use: ``__all__ = ["np"]`` intentionally
+    # publishes the binding even if the module body never touches it.
+    exported = {
+        elt.value
+        for node in ast.walk(ctx.tree)
+        if isinstance(node, (ast.List, ast.Tuple, ast.Set))
+        for elt in node.elts
+        if isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+    }
+
+    findings: List[Finding] = []
+    for local, (node, origin) in sorted(heavy.items()):
+        if local in used or local in exported:
+            continue
+        findings.append(
+            Finding(
+                rule="REP005",
+                file=ctx.display_path,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    f"heavyweight import '{origin}' is bound as "
+                    f"{local!r} but never used; drop it (a dead "
+                    "numpy/scipy import misstates the module's "
+                    "dependencies and slows every worker spawn)"
+                ),
+                symbol=origin,
+            )
+        )
     return findings
 
 

@@ -29,6 +29,7 @@ from repro.lint.rules import (
     check_rep002,
     check_rep003,
     check_rep004,
+    check_rep005,
     paper_references,
     parse_file,
 )
@@ -39,6 +40,7 @@ _PER_FILE_RULES = {
     "REP001": check_rep001,
     "REP003": check_rep003,
     "REP004": check_rep004,
+    "REP005": check_rep005,
 }
 
 _ROOT_MARKERS = ("PAPER.md", "pyproject.toml", ".git")
@@ -175,7 +177,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         description=(
             "Repo-specific static analysis: REP001 no-global-RNG, "
             "REP002 registry completeness, REP003 adversary-knowledge "
-            "boundary, REP004 paper-reference hygiene."
+            "boundary, REP004 paper-reference hygiene, REP005 no dead "
+            "heavyweight imports."
         ),
     )
     parser.add_argument(

@@ -1,0 +1,7 @@
+"""REP005 fixture: a heavyweight import whose binding is never used."""
+
+import numpy as np  # <- REP005
+
+
+def trivial_sum(values) -> int:
+    return sum(values)

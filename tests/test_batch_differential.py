@@ -1,0 +1,243 @@
+"""Differential gate for the batch engine: BatchFastEngine vs the
+per-trial FastEngine.
+
+Two tiers of agreement, matching the engines' seed contract:
+
+* **Exact** on coin-free trajectories.  Both engines derive the same
+  per-trial ``(coin_seed, adversary_seed)`` split from the trial seed,
+  and a configuration that never reaches a coin flip (unanimous inputs
+  under benign or oblivious crashes) is a deterministic function of
+  that split — so every field of the per-trial result must agree
+  bit-for-bit.
+
+* **Distributional** everywhere else.  The scalar engine draws coins
+  from ``random.Random``; the batch engine from counter-based hash
+  streams.  Same seed, different stream — so coin-flipping runs are
+  compared as samples: a two-sample Kolmogorov-Smirnov test on the
+  round distribution plus a normal-approximation bound on the decision
+  rate, for all four ported adversaries at n in {32, 64, 128}.
+
+The KS machinery is implemented inline: scipy is not a dependency of
+this repo.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.adversary.oblivious import calibrated_drip_schedule
+from repro.protocols import SynRanProtocol
+from repro.sim.batch import (
+    BatchBenign,
+    BatchFastEngine,
+    BatchOblivious,
+    BatchRandomCrash,
+    BatchTallyAttack,
+)
+from repro.sim.fast import (
+    FastBenign,
+    FastEngine,
+    FastOblivious,
+    FastRandomCrash,
+    FastTallyAttack,
+)
+
+# ----------------------------------------------------------------------
+# Inline two-sample KS (no scipy)
+# ----------------------------------------------------------------------
+
+
+def ks_statistic(a, b):
+    """Two-sample KS statistic: max |ECDF_a - ECDF_b|."""
+    a = np.sort(np.asarray(a, dtype=float))
+    b = np.sort(np.asarray(b, dtype=float))
+    grid = np.concatenate([a, b])
+    cdf_a = np.searchsorted(a, grid, side="right") / len(a)
+    cdf_b = np.searchsorted(b, grid, side="right") / len(b)
+    return float(np.abs(cdf_a - cdf_b).max())
+
+
+def ks_threshold(m, n, alpha_coeff=1.63):
+    """Rejection threshold c(alpha) * sqrt((m+n)/(m*n)).
+
+    ``alpha_coeff=1.63`` is the asymptotic c(0.01).  Both samples come
+    from fixed seeds, so the test is deterministic; the significance
+    level just documents how close "statistically identical" is.
+    """
+    return alpha_coeff * math.sqrt((m + n) / (m * n))
+
+
+class TestKSMachinery:
+    def test_identical_samples_have_zero_statistic(self):
+        assert ks_statistic([1, 2, 3], [1, 2, 3]) == 0.0
+
+    def test_disjoint_samples_have_unit_statistic(self):
+        assert ks_statistic([0, 0, 0], [9, 9, 9]) == 1.0
+
+    def test_statistic_is_symmetric(self):
+        a, b = [1, 2, 2, 5], [2, 3, 4]
+        assert ks_statistic(a, b) == ks_statistic(b, a)
+
+    def test_known_value(self):
+        # At x=2 the ECDFs are 1.0 (left sample exhausted) vs 0.25
+        # (only x=1 passed), the largest gap anywhere.
+        assert ks_statistic([1, 2], [1, 3, 4, 5]) == pytest.approx(0.75)
+
+
+# ----------------------------------------------------------------------
+# Exact agreement on coin-free trajectories
+# ----------------------------------------------------------------------
+
+
+SEEDS = list(range(20))
+
+
+def _scalar_results(adv_factory, n, inputs, seeds):
+    out = []
+    for seed in seeds:
+        engine = FastEngine(
+            SynRanProtocol(), adv_factory(), n, seed=seed
+        )
+        out.append(engine.run(inputs))
+    return out
+
+
+def _batch_results(adversary, n, inputs, seeds):
+    engine = BatchFastEngine(SynRanProtocol(), adversary, n)
+    result = engine.run(inputs, seeds)
+    return [result.trial(i) for i in range(len(seeds))]
+
+
+class TestExactSeedAgreement:
+    @pytest.mark.parametrize("bit", [0, 1])
+    def test_benign_unanimous(self, bit):
+        n = 64
+        inputs = [bit] * n
+        scalar = _scalar_results(FastBenign, n, inputs, SEEDS)
+        batch = _batch_results(BatchBenign(), n, inputs, SEEDS)
+        assert scalar == batch
+
+    @pytest.mark.parametrize("bit", [0, 1])
+    def test_oblivious_calibrated_unanimous(self, bit):
+        # Crashes but no coins: the oblivious plan is derived from the
+        # same per-trial adversary seed in both engines, so full
+        # per-round histories must agree exactly.
+        n = 64
+        t = n
+        inputs = [bit] * n
+        scalar = _scalar_results(
+            lambda: FastOblivious.from_schedule(t, calibrated_drip_schedule),
+            n,
+            inputs,
+            SEEDS,
+        )
+        batch = _batch_results(
+            BatchOblivious.from_schedule(t, calibrated_drip_schedule),
+            n,
+            inputs,
+            SEEDS,
+        )
+        assert scalar == batch
+
+
+# ----------------------------------------------------------------------
+# Distributional agreement on coin-flipping configurations
+# ----------------------------------------------------------------------
+
+
+def _mixed_inputs(n):
+    return [i % 2 for i in range(n)]
+
+
+_ADVERSARIES = {
+    "benign": (lambda t: FastBenign(), lambda t: BatchBenign()),
+    "random": (
+        lambda t: FastRandomCrash(t, rate=0.1),
+        lambda t: BatchRandomCrash(t, rate=0.1),
+    ),
+    "tally-attack": (
+        lambda t: FastTallyAttack(t),
+        lambda t: BatchTallyAttack(t),
+    ),
+    "oblivious-calibrated": (
+        lambda t: FastOblivious.from_schedule(t, calibrated_drip_schedule),
+        lambda t: BatchOblivious.from_schedule(t, calibrated_drip_schedule),
+    ),
+}
+
+
+def _scalar_sample(adv_factory, n, trials):
+    inputs = _mixed_inputs(n)
+    rounds, decisions = [], []
+    for seed in range(trials):
+        engine = FastEngine(
+            SynRanProtocol(),
+            adv_factory(),
+            n,
+            seed=seed,
+            strict_termination=False,
+        )
+        result = engine.run(inputs)
+        rounds.append(result.rounds)
+        decisions.append(result.decision)
+    return np.array(rounds), decisions
+
+
+def _batch_sample(adversary, n, trials, seed_offset=10_000):
+    # Disjoint seed range from the scalar sample: the two samples are
+    # compared as independent draws from the same distribution.
+    seeds = list(range(seed_offset, seed_offset + trials))
+    engine = BatchFastEngine(
+        SynRanProtocol(), adversary, n, strict_termination=False
+    )
+    result = engine.run(_mixed_inputs(n), seeds)
+    trials_out = [result.trial(i) for i in range(trials)]
+    return (
+        np.array([t.rounds for t in trials_out]),
+        [t.decision for t in trials_out],
+    )
+
+
+class TestDistributionalAgreement:
+    """All four ported adversaries, n in {32, 64, 128}: KS on the
+    round distribution + a 4-sigma bound on the decide-1 rate."""
+
+    SCALAR_TRIALS = 150
+    BATCH_TRIALS = 600
+
+    @pytest.mark.parametrize("n", [32, 64, 128])
+    @pytest.mark.parametrize("name", sorted(_ADVERSARIES))
+    def test_rounds_and_decisions_match(self, name, n):
+        scalar_factory, batch_factory = _ADVERSARIES[name]
+        t = n
+        scalar_rounds, scalar_dec = _scalar_sample(
+            lambda: scalar_factory(t), n, self.SCALAR_TRIALS
+        )
+        batch_rounds, batch_dec = _batch_sample(
+            batch_factory(t), n, self.BATCH_TRIALS
+        )
+
+        stat = ks_statistic(scalar_rounds, batch_rounds)
+        bound = ks_threshold(self.SCALAR_TRIALS, self.BATCH_TRIALS)
+        assert stat < bound, (
+            f"{name} n={n}: KS={stat:.4f} >= {bound:.4f} "
+            f"(scalar mean {scalar_rounds.mean():.2f}, "
+            f"batch mean {batch_rounds.mean():.2f})"
+        )
+
+        # Decide-1 rate: pooled two-proportion z-test at ~4 sigma.
+        p_s = sum(1 for d in scalar_dec if d == 1) / len(scalar_dec)
+        p_b = sum(1 for d in batch_dec if d == 1) / len(batch_dec)
+        pool = (
+            sum(1 for d in scalar_dec if d == 1)
+            + sum(1 for d in batch_dec if d == 1)
+        ) / (len(scalar_dec) + len(batch_dec))
+        sigma = math.sqrt(
+            max(pool * (1 - pool), 1e-12)
+            * (1 / len(scalar_dec) + 1 / len(batch_dec))
+        )
+        assert abs(p_s - p_b) <= 4 * sigma + 1e-9, (
+            f"{name} n={n}: decide-1 rate {p_s:.3f} vs {p_b:.3f} "
+            f"(sigma {sigma:.4f})"
+        )

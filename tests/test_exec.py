@@ -9,6 +9,7 @@ import pytest
 from repro.adversary.registry import available_adversaries
 from repro.errors import ConfigurationError
 from repro.harness.exec import (
+    ENGINE_BATCH,
     ENGINE_FAST,
     ENGINE_REFERENCE,
     ExecutionPlan,
@@ -23,6 +24,7 @@ from repro.harness.exec import (
     build_protocol,
     derive_trial_seed,
     make_executor,
+    run_spec_batch,
     run_spec_trial,
     spec_params,
 )
@@ -52,6 +54,21 @@ def reference_spec(**overrides):
         n=6,
         t=3,
         inputs="worst",
+    )
+    fields.update(overrides)
+    return TrialSpec(**fields)
+
+
+def batch_spec(**overrides):
+    # t < n so the random adversary can never crash *every* process:
+    # all trials decide, which keeps structural_ok() assertions sharp.
+    fields = dict(
+        protocol="synran",
+        adversary="random",
+        n=16,
+        t=8,
+        inputs="random",
+        engine=ENGINE_BATCH,
     )
     fields.update(overrides)
     return TrialSpec(**fields)
@@ -182,8 +199,9 @@ class TestWorkerInvariance:
         [
             TrialBatch(spec=fast_spec(), trials=6, base_seed=5),
             TrialBatch(spec=reference_spec(), trials=4, base_seed=5),
+            TrialBatch(spec=batch_spec(), trials=6, base_seed=5),
         ],
-        ids=["fast", "reference"],
+        ids=["fast", "reference", "batch"],
     )
     def test_serial_equals_parallel_1_and_4(self, batch):
         serial = SerialExecutor().run_outcomes(batch)
@@ -340,6 +358,60 @@ class TestTrialStatsEngineKind:
         assert stats.all_ok()
         assert stats.violation_count() == 0
 
+    def test_batch_stats_refuse_verdict_queries(self):
+        stats = SerialExecutor().run_batch(
+            TrialBatch(spec=batch_spec(), trials=3)
+        )
+        assert stats.engine_kind == ENGINE_BATCH
+        assert not stats.checked
+        with pytest.raises(ConfigurationError):
+            stats.all_ok()
+        with pytest.raises(ConfigurationError):
+            stats.violation_count()
+        assert stats.structural_ok()
+
     def test_unknown_engine_kind_rejected(self):
         with pytest.raises(ConfigurationError):
             TrialStats(engine_kind="warp")
+
+
+class TestBatchSpecExecution:
+    def test_single_trial_routes_through_batch_engine(self):
+        spec = batch_spec()
+        assert run_spec_trial(spec, 3, 7) == run_spec_batch(spec, [3], 7)[0]
+
+    def test_chunk_composition_is_irrelevant(self):
+        # The executor may slice a batch-engine TrialBatch into
+        # arbitrary chunks; per-trial outcomes must not depend on
+        # which chunk (or how large a chunk) a trial landed in.
+        spec = batch_spec()
+        whole = run_spec_batch(spec, range(12), 7)
+        pieces = (
+            run_spec_batch(spec, range(0, 5), 7)
+            + run_spec_batch(spec, range(5, 6), 7)
+            + run_spec_batch(spec, range(6, 12), 7)
+        )
+        assert whole == pieces
+
+    def test_rejects_non_batch_spec(self):
+        with pytest.raises(ConfigurationError):
+            run_spec_batch(fast_spec(), [0], 7)
+
+    def test_cache_round_trip(self, tmp_path):
+        batch = TrialBatch(spec=batch_spec(), trials=4, base_seed=2)
+        executor = SerialExecutor(cache=ResultCache(tmp_path))
+        first = executor.run_outcomes(batch)
+        second = executor.run_outcomes(batch)
+        assert executor.cache_misses == 1
+        assert executor.cache_hits == 1
+        assert first == second
+        assert second == SerialExecutor().run_outcomes(batch)
+
+    def test_every_batch_adversary_runs(self):
+        from repro.harness.exec import available_batch_adversaries
+
+        for name in available_batch_adversaries():
+            outcome = run_spec_batch(
+                batch_spec(adversary=name), [0], 11
+            )[0]
+            assert outcome.rounds >= 1

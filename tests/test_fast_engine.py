@@ -123,6 +123,24 @@ class TestFastView:
         assert view.received_count(0) == 10
         assert view.received_count(1) == 9
 
+    def test_every_negative_index_is_n(self):
+        # The paper's N^{-1} = N^0 = n convention extends to any
+        # before-the-start index (the bleed rule reads N^{r-3} in
+        # rounds 0-2).
+        view = FastView(
+            round_index=0,
+            n=7,
+            stage="probabilistic",
+            senders=7,
+            ones=4,
+            zeros=3,
+            tentative=0,
+            budget_remaining=2,
+            received_history=(),
+        )
+        for j in (-1, -2, -3):
+            assert view.received_count(j) == 7
+
 
 class TestEngineEquivalence:
     """The two engines implement the same protocol: identical

@@ -15,6 +15,7 @@ from repro.harness.workloads import (
     worst_case_split,
 )
 from repro.protocols import SynRanProtocol
+from repro.sim.batch import BatchBenign
 from repro.sim.fast import FastBenign
 
 
@@ -199,3 +200,65 @@ class TestFastRunner:
         )
         assert stats.verdicts == []
         assert stats.timeouts == 0
+
+
+class TestBatchRunner:
+    def test_batch_mode_matches_fast_on_coin_free_runs(self):
+        # Unanimous inputs under benign crashes never reach a coin, so
+        # batch=True must reproduce the scalar fast path exactly (the
+        # two modes share per-trial seed derivation).
+        kwargs = dict(trials=5, base_seed=11)
+        fast = run_fast_trials(
+            SynRanProtocol, FastBenign, 16, lambda rng: [1] * 16, **kwargs
+        )
+        batch = run_fast_trials(
+            SynRanProtocol,
+            BatchBenign,
+            16,
+            lambda rng: [1] * 16,
+            batch=True,
+            **kwargs,
+        )
+        assert batch.engine_kind == "batch"
+        assert batch.decision_rounds == fast.decision_rounds
+        assert batch.decisions == fast.decisions
+
+    def test_batch_mode_is_deterministic(self):
+        runs = [
+            run_fast_trials(
+                SynRanProtocol,
+                BatchBenign,
+                32,
+                lambda rng: [rng.randrange(2) for _ in range(32)],
+                trials=6,
+                base_seed=3,
+                batch=True,
+            )
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+    def test_batch_mode_rejects_scalar_adversary(self):
+        with pytest.raises(ConfigurationError):
+            run_fast_trials(
+                SynRanProtocol,
+                FastBenign,
+                16,
+                lambda rng: [1] * 16,
+                trials=2,
+                batch=True,
+            )
+
+    def test_batch_stats_refuse_verdict_queries(self):
+        stats = run_fast_trials(
+            SynRanProtocol,
+            BatchBenign,
+            16,
+            lambda rng: [1] * 16,
+            trials=2,
+            batch=True,
+        )
+        assert not stats.checked
+        with pytest.raises(ConfigurationError):
+            stats.all_ok()
+        assert stats.structural_ok()

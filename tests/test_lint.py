@@ -23,6 +23,7 @@ from repro.lint.rules import (
     check_rep002,
     check_rep003,
     check_rep004,
+    check_rep005,
     paper_references,
 )
 
@@ -230,6 +231,94 @@ class TestRep004:
             '"""Implements Lemma 9.9."""\n', check_rep004, paper_refs=None
         )
         assert findings == []
+
+
+# ----------------------------------------------------------------------
+# REP005 — dead heavyweight imports
+# ----------------------------------------------------------------------
+
+
+class TestRep005:
+    def test_unused_numpy_alias_flagged(self):
+        findings = _rules(
+            """
+            import numpy as np
+
+            def f(values):
+                return sum(values)
+            """,
+            check_rep005,
+        )
+        assert [f.rule for f in findings] == ["REP005"]
+        assert findings[0].symbol == "numpy"
+        assert "'np'" in findings[0].message
+
+    def test_unused_from_import_flagged(self):
+        findings = _rules(
+            """
+            from scipy import stats
+
+            def f(x):
+                return x
+            """,
+            check_rep005,
+        )
+        assert [f.rule for f in findings] == ["REP005"]
+        assert findings[0].symbol == "scipy.stats"
+
+    def test_submodule_import_binds_top_level_name(self):
+        # `import numpy.random` binds the name `numpy`; using `numpy`
+        # anywhere counts as a use of the whole import.
+        findings = _rules(
+            """
+            import numpy.random
+
+            def f():
+                return numpy.random.default_rng(0)
+            """,
+            check_rep005,
+        )
+        assert findings == []
+
+    def test_used_import_clean(self):
+        findings = _rules(
+            """
+            import numpy as np
+
+            def f(values):
+                return np.asarray(values).sum()
+            """,
+            check_rep005,
+        )
+        assert findings == []
+
+    def test_all_reexport_counts_as_use(self):
+        findings = _rules(
+            """
+            import pandas
+
+            __all__ = ["pandas"]
+            """,
+            check_rep005,
+        )
+        assert findings == []
+
+    def test_lightweight_imports_ignored(self):
+        findings = _rules(
+            """
+            import os
+            import json
+            from dataclasses import dataclass
+            """,
+            check_rep005,
+        )
+        assert findings == []
+
+    def test_fixture_file_flagged_via_runner(self):
+        report = lint_paths(
+            [str(FIXTURE_ROOT / "src" / "badimport.py")], select=["REP005"]
+        )
+        assert [f.rule for f in report.findings] == ["REP005"]
 
 
 # ----------------------------------------------------------------------

@@ -23,12 +23,14 @@ ALL_MODULES = [
     "repro.cli",
     "repro.errors",
     "repro.sim",
+    "repro.sim.batch",
     "repro.sim.checks",
     "repro.sim.comm",
     "repro.sim.engine",
     "repro.sim.fast",
     "repro.sim.model",
     "repro.sim.replay",
+    "repro.sim.streams",
     "repro.sim.trace",
     "repro.protocols",
     "repro.protocols.base",
