@@ -3,9 +3,9 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: lint replint ruff test bench bench-pytest check experiments-quick
+.PHONY: lint replint ruff test bench bench-pytest check chaos experiments-quick
 
-# Repo-specific static analysis (REP001-REP005).  Benchmarks and
+# Repo-specific static analysis (REP001-REP006).  Benchmarks and
 # examples are included so REP005 (dead heavyweight imports) covers
 # the perf-critical files too.
 replint:
@@ -43,5 +43,11 @@ bench-pytest:
 # two headline experiments.  Cached under .repro-cache/ (resumable).
 experiments-quick:
 	python -m repro.harness.experiments --only E5,E6 --workers 2
+
+# Chaos gates: killed workers, stalled chunks, corrupted cache docs,
+# SIGKILLed mid-batch runs — all byte-identical to fault-free serial
+# (docs/robustness.md).  CI runs this as the chaos-smoke job.
+chaos:
+	python -m pytest tests/test_chaos.py tests/test_resilience.py -q
 
 check: lint test

@@ -11,18 +11,20 @@ Subcommands:
   exported as a table, CSV, or JSON.
 * ``experiments`` — the E1..E10 claim-reproduction suite (delegates
   to :mod:`repro.harness.experiments`).
-* ``lint`` — the repo-specific static-analysis pass (REP001–REP005;
+* ``lint`` — the repo-specific static-analysis pass (REP001–REP006;
   delegates to :mod:`repro.lint`).
 
 ``run``, ``sweep``, and ``experiments`` execute through the
 :mod:`repro.harness.exec` core, so they share ``--workers N`` (process
-parallelism) and the result-cache knobs (``--cache``/``--no-cache``,
-``--cache-dir``).
+parallelism), the result-cache knobs (``--cache``/``--no-cache``,
+``--cache-dir``), and the resilience knobs (``--retries``,
+``--chunk-timeout``, ``--chaos``; see ``docs/robustness.md``).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import random
 import sys
 from typing import List, Optional, Sequence
@@ -67,6 +69,7 @@ from repro.harness.exec import (
     make_executor,
 )
 from repro.harness.report import Table, render_table
+from repro.harness.resilience import CHAOS_ENV, FaultPlan, RetryPolicy
 from repro.harness.sweep import Sweep, run_sweep
 from repro.protocols.registry import available_protocols, make_protocol
 
@@ -91,7 +94,34 @@ _GAMES = {
 def _make_executor(args: argparse.Namespace, *, cache_on: bool) -> Executor:
     """Build the executor shared by run/sweep/experiments from flags."""
     cache = ResultCache(args.cache_dir) if cache_on else None
-    return make_executor(args.workers, cache=cache)
+    fault_plan = None
+    if getattr(args, "chaos", None):
+        # The environment variable is what process-pool workers
+        # inherit; the loaded plan covers in-process execution and
+        # parent-side cache corruption.
+        os.environ[CHAOS_ENV] = args.chaos
+        fault_plan = FaultPlan.load(args.chaos)
+    return make_executor(
+        args.workers,
+        cache=cache,
+        retry=RetryPolicy(max_attempts=args.retries + 1),
+        chunk_timeout=args.chunk_timeout,
+        fault_plan=fault_plan,
+    )
+
+
+def _resilience_note(executor: Executor) -> Optional[str]:
+    """A one-line recovery summary, or ``None`` for an uneventful run."""
+    summary = executor.resilience_summary()
+    keys = ("resumed_chunks", "retries", "quarantined", "pool_rebuilds")
+    if not any(summary[k] for k in keys):
+        return None
+    return (
+        f"resilience: {summary['resumed_chunks']} chunk(s) resumed, "
+        f"{summary['retries']} retried, "
+        f"{summary['quarantined']} quarantined, "
+        f"{summary['pool_rebuilds']} pool rebuild(s)"
+    )
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -135,9 +165,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     table.add_row("ci95 half-width", summary.ci95_half_width)
     table.add_row("mean crashes", sum(stats.crashes) / len(stats.crashes))
     table.add_row("timeouts", stats.timeouts)
+    if stats.missing_trials:
+        table.add_row("missing trials (quarantined)", stats.missing_trials)
     if stats.checked:
         table.add_row("consensus violations", stats.violation_count())
-        ok = stats.violation_count() == 0
+        ok = stats.violation_count() == 0 and stats.missing_trials == 0
     else:
         # Fast/batch engines carry no per-trial verdicts; report the
         # structural check they do support instead of a vacuous pass.
@@ -148,6 +180,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         table.add_row(
             "decision-1 fraction", sum(decisions) / len(decisions)
         )
+    note = _resilience_note(executor)
+    if note:
+        table.add_note(note)
     print(render_table(table))
     return 0 if ok else 1
 
@@ -278,6 +313,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             table.add_note(
                 f"cache: {hits} cell(s) resumed, {misses} computed"
             )
+        note = _resilience_note(executor)
+        if note:
+            table.add_note(note)
         rendered = render_table(table)
     if args.output:
         path = write_text(args.output, rendered)
@@ -298,12 +336,36 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         forwarded.append("--no-cache")
     if args.cache_dir:
         forwarded += ["--cache-dir", args.cache_dir]
+    forwarded += ["--retries", str(args.retries)]
+    if args.chunk_timeout is not None:
+        forwarded += ["--chunk-timeout", str(args.chunk_timeout)]
+    if args.chaos:
+        forwarded += ["--chaos", args.chaos]
     return experiments_main(forwarded)
 
 
 # ----------------------------------------------------------------------
 # parser
 # ----------------------------------------------------------------------
+
+
+def _add_resilience_flags(sub_parser: argparse.ArgumentParser) -> None:
+    """The fail-stop-tolerance knobs shared by run/sweep/experiments."""
+    sub_parser.add_argument(
+        "--retries", type=int, default=2,
+        help="retries per failed chunk before quarantine (default: 2)",
+    )
+    sub_parser.add_argument(
+        "--chunk-timeout", type=float, default=None,
+        help=(
+            "stall-detector window in seconds: rebuild the pool and "
+            "retry if no chunk completes in time (default: wait forever)"
+        ),
+    )
+    sub_parser.add_argument(
+        "--chaos", default=None, metavar="PLAN.json",
+        help="fault-plan JSON to inject (chaos testing)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -349,6 +411,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="reuse/store results in the on-disk cache")
     run.add_argument("--cache-dir", default=None,
                      help="result-cache directory (default: .repro-cache)")
+    _add_resilience_flags(run)
     run.set_defaults(func=_cmd_run)
 
     coin = sub.add_parser("coin", help="one-round game control (§2)")
@@ -399,6 +462,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="recompute every cell (cache is on by default)")
     sweep.add_argument("--cache-dir", default=None,
                        help="result-cache directory (default: .repro-cache)")
+    _add_resilience_flags(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
     exp = sub.add_parser(
@@ -412,10 +476,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="recompute every batch (cache is on by default)")
     exp.add_argument("--cache-dir", default=None,
                      help="result-cache directory (default: .repro-cache)")
+    _add_resilience_flags(exp)
     exp.set_defaults(func=_cmd_experiments)
 
     lint = sub.add_parser(
-        "lint", help="repo-specific static analysis (REP001-REP005)"
+        "lint", help="repo-specific static analysis (REP001-REP006)"
     )
     lint.add_argument("paths", nargs="*", default=["src"])
     lint.add_argument(

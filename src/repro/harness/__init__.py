@@ -12,7 +12,10 @@ table.  Run them all from the command line::
 Trial execution is layered on :mod:`repro.harness.exec`: declarative
 :class:`TrialSpec`/:class:`TrialBatch` descriptions, pluggable serial
 and process-pool executors, and a content-addressed result cache (see
-``docs/harness.md``).
+``docs/harness.md``).  Execution is fail-stop tolerant — chunk retry
+with deterministic backoff, chunk-level checkpointing, poison-chunk
+quarantine, and a chaos-injection test harness live in
+:mod:`repro.harness.resilience` (see ``docs/robustness.md``).
 """
 
 from repro.harness.exec import (
@@ -27,6 +30,14 @@ from repro.harness.exec import (
     make_executor,
     spec_params,
 )
+from repro.harness.resilience import (
+    BatchReport,
+    ChaosError,
+    ChunkFailure,
+    Fault,
+    FaultPlan,
+    RetryPolicy,
+)
 from repro.harness.report import Table, render_table
 from repro.harness.runner import TrialStats, run_reference_trials, run_fast_trials
 from repro.harness.sweep import Sweep, SweepResult, run_sweep, sweep_plan
@@ -38,10 +49,16 @@ from repro.harness.workloads import (
 )
 
 __all__ = [
+    "BatchReport",
+    "ChaosError",
+    "ChunkFailure",
     "ExecutionPlan",
     "Executor",
+    "Fault",
+    "FaultPlan",
     "ParallelExecutor",
     "ResultCache",
+    "RetryPolicy",
     "SerialExecutor",
     "Sweep",
     "SweepResult",

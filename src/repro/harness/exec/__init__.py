@@ -17,10 +17,13 @@ It separates *what* to run from *how* to run it:
 * :mod:`repro.harness.exec.executor` — the :class:`Executor` interface
   with :class:`SerialExecutor` and the process-pool
   :class:`ParallelExecutor`; outcomes are byte-identical regardless of
-  worker count or chunking.
+  worker count or chunking, and execution is fail-stop tolerant (chunk
+  retry, pool rebuild, quarantine — see
+  :mod:`repro.harness.resilience`).
 * :mod:`repro.harness.exec.cache` — :class:`ResultCache`, the
-  content-addressed on-disk store that makes interrupted sweeps and
-  experiment grids resumable.
+  content-addressed on-disk store (schema v2: final batch documents
+  plus a per-chunk partial ledger) that makes interrupted sweeps and
+  experiment grids resumable at chunk granularity.
 
 See ``docs/harness.md`` for the architecture and the seed-derivation
 compatibility note.
@@ -36,7 +39,11 @@ from repro.harness.exec.builders import (
     build_inputs,
     build_protocol,
 )
-from repro.harness.exec.cache import ResultCache, cache_salt
+from repro.harness.exec.cache import (
+    CACHE_SCHEMA_VERSION,
+    ResultCache,
+    cache_salt,
+)
 from repro.harness.exec.executor import (
     Executor,
     ParallelExecutor,
@@ -63,6 +70,7 @@ from repro.harness.exec.trial import (
 )
 
 __all__ = [
+    "CACHE_SCHEMA_VERSION",
     "ENGINE_BATCH",
     "ENGINE_FAST",
     "ENGINE_KINDS",

@@ -9,21 +9,33 @@ schema) changes, every old entry silently misses and is recomputed,
 so stale results can never survive a code change that might alter
 sampled behaviour.
 
-Granularity is the batch (one sweep cell, one experiment row): an
-interrupted grid re-run skips every completed cell and recomputes only
-the ones that never finished.  Loads are defensive — any malformed,
-truncated, or mismatched document is treated as a miss, never an
-error.
+Schema v2 adds a *partial-batch ledger*: while a batch is in flight,
+each completed chunk of trial indices is persisted as its own small
+document under ``<key>.partial/`` (atomically renamed, like every
+write here).  An interrupted run therefore resumes at chunk
+granularity — the executor reloads the ledger, recomputes only the
+missing indices, and on completion the final batch document replaces
+the ledger (which is then removed).  Ledger documents carry the same
+salt and key discipline as batch documents.
+
+Loads are defensive — any malformed, truncated, or mismatched
+document (batch or chunk) is treated as a miss, never an error.
+Stores are resilient the other way: the first ``OSError`` (read-only
+or full filesystem) degrades the cache to a warned no-op, so a run
+completes uncached rather than crashing.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import re
+import shutil
 import tempfile
+import warnings
 from dataclasses import asdict
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import repro
 from repro.harness.exec.spec import TrialBatch
@@ -32,9 +44,12 @@ from repro.harness.exec.trial import TrialOutcome
 __all__ = ["CACHE_SCHEMA_VERSION", "DEFAULT_CACHE_DIR", "ResultCache", "cache_salt"]
 
 #: Bumped whenever the stored document layout changes.
-CACHE_SCHEMA_VERSION = 1
+#: v2: partial-batch chunk ledger alongside final batch documents.
+CACHE_SCHEMA_VERSION = 2
 
 DEFAULT_CACHE_DIR = Path(".repro-cache")
+
+_CHUNK_DOC_RE = re.compile(r"^chunk-(\d{8})-(\d{8})\.json$")
 
 
 def cache_salt() -> str:
@@ -51,11 +66,17 @@ class ResultCache:
 
     def __init__(self, root: Union[str, Path, None] = None) -> None:
         self.root = Path(root) if root is not None else DEFAULT_CACHE_DIR
+        self._unwritable = False
 
     def path_for(self, batch: TrialBatch) -> Path:
         """Where ``batch``'s document lives (two-level fan-out)."""
         key = batch.batch_key()
         return self.root / key[:2] / f"{key}.json"
+
+    def partial_dir(self, batch: TrialBatch) -> Path:
+        """Where ``batch``'s in-flight chunk ledger lives."""
+        key = batch.batch_key()
+        return self.root / key[:2] / f"{key}.partial"
 
     def load(self, batch: TrialBatch) -> Optional[List[TrialOutcome]]:
         """The batch's cached outcomes, or ``None`` on any miss.
@@ -93,14 +114,20 @@ class ResultCache:
             return None
         return outcomes
 
-    def store(self, batch: TrialBatch, outcomes: List[TrialOutcome]) -> Path:
+    def store(
+        self, batch: TrialBatch, outcomes: List[TrialOutcome]
+    ) -> Optional[Path]:
         """Persist a completed batch atomically; returns the file path.
 
         Writes to a temp file in the destination directory and renames
-        into place, so readers never observe a partial document.
+        into place, so readers never observe a partial document.  Any
+        chunk ledger for the batch is compacted away afterwards.  On an
+        unwritable filesystem the cache degrades (one warning, then
+        silent no-ops) and ``None`` is returned — the run's results are
+        unaffected, just uncached.
         """
-        path = self.path_for(batch)
-        path.parent.mkdir(parents=True, exist_ok=True)
+        if self._unwritable:
+            return None
         doc = {
             "schema": CACHE_SCHEMA_VERSION,
             "salt": cache_salt(),
@@ -114,6 +141,130 @@ class ResultCache:
                 for o in sorted(outcomes, key=lambda o: o.trial_index)
             ],
         }
+        path = self.path_for(batch)
+        try:
+            written = self._write_doc(path, doc)
+        except OSError as exc:
+            self._degrade(exc)
+            return None
+        self.clear_partial(batch)
+        return written
+
+    def store_chunk(
+        self,
+        batch: TrialBatch,
+        indices: Sequence[int],
+        outcomes: List[TrialOutcome],
+    ) -> Optional[Path]:
+        """Checkpoint one completed chunk into the batch's ledger.
+
+        The document is named after the index span it covers
+        (``chunk-<first>-<last>.json``) and written atomically, so a
+        crash at any instant leaves either a valid chunk document or
+        none.  Returns ``None`` on an empty chunk or a degraded cache.
+        """
+        if self._unwritable or not indices:
+            return None
+        first, last = min(indices), max(indices)
+        doc = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "salt": cache_salt(),
+            "batch_key": batch.batch_key(),
+            "indices": sorted(int(i) for i in indices),
+            "outcomes": [
+                o.to_jsonable()
+                for o in sorted(outcomes, key=lambda o: o.trial_index)
+            ],
+        }
+        path = self.partial_dir(batch) / f"chunk-{first:08d}-{last:08d}.json"
+        try:
+            return self._write_doc(path, doc)
+        except OSError as exc:
+            self._degrade(exc)
+            return None
+
+    def load_partial(
+        self, batch: TrialBatch
+    ) -> Tuple[Dict[int, TrialOutcome], int]:
+        """Salvage the batch's chunk ledger from an interrupted run.
+
+        Returns ``(outcomes by trial index, valid chunk documents)``.
+        Corrupt, truncated, or mismatched chunk documents are skipped
+        (that chunk is simply recomputed); a missing ledger directory
+        yields ``({}, 0)``.
+        """
+        salvaged: Dict[int, TrialOutcome] = {}
+        valid_docs = 0
+        try:
+            paths = self.partial_paths(batch)
+        except OSError:
+            return salvaged, 0
+        for path in paths:
+            loaded = self._load_chunk_doc(path, batch)
+            if loaded is None:
+                continue
+            valid_docs += 1
+            for outcome in loaded:
+                salvaged[outcome.trial_index] = outcome
+        return salvaged, valid_docs
+
+    def partial_paths(self, batch: TrialBatch) -> List[Path]:
+        """The batch's chunk-ledger documents, sorted by span."""
+        directory = self.partial_dir(batch)
+        if not directory.is_dir():
+            return []
+        return sorted(
+            p for p in directory.iterdir() if _CHUNK_DOC_RE.match(p.name)
+        )
+
+    @staticmethod
+    def chunk_doc_span(path: Path) -> Tuple[Optional[int], Optional[int]]:
+        """The ``(first, last)`` trial span a chunk document's name claims."""
+        match = _CHUNK_DOC_RE.match(path.name)
+        if match is None:
+            return None, None
+        return int(match.group(1)), int(match.group(2))
+
+    def clear_partial(self, batch: TrialBatch) -> None:
+        """Remove the batch's chunk ledger (best effort)."""
+        directory = self.partial_dir(batch)
+        if directory.is_dir():
+            shutil.rmtree(directory, ignore_errors=True)
+
+    def _load_chunk_doc(
+        self, path: Path, batch: TrialBatch
+    ) -> Optional[List[TrialOutcome]]:
+        """One ledger document's outcomes, or ``None`` on any defect."""
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        try:
+            if doc["schema"] != CACHE_SCHEMA_VERSION:
+                return None
+            if doc["salt"] != cache_salt():
+                return None
+            if doc["batch_key"] != batch.batch_key():
+                return None
+            indices = doc["indices"]
+            records = doc["outcomes"]
+            if not isinstance(indices, list) or not isinstance(records, list):
+                return None
+            if len(indices) != len(records):
+                return None
+            outcomes = [TrialOutcome.from_jsonable(rec) for rec in records]
+        except Exception:
+            return None
+        if sorted(o.trial_index for o in outcomes) != sorted(indices):
+            return None
+        if any(not 0 <= o.trial_index < batch.trials for o in outcomes):
+            return None
+        return outcomes
+
+    def _write_doc(self, path: Path, doc: Dict[str, Any]) -> Path:
+        """Atomic JSON write: temp file in the target dir, then rename."""
+        path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(
             dir=str(path.parent), prefix=".tmp-", suffix=".json"
         )
@@ -128,6 +279,22 @@ class ResultCache:
                 pass
             raise
         return path
+
+    def _degrade(self, exc: OSError) -> None:
+        """Disable writes after a filesystem failure; warn exactly once.
+
+        Loads keep working (a read-only cache is still a valid source
+        of prior results); only persistence stops.
+        """
+        if self._unwritable:
+            return
+        self._unwritable = True
+        warnings.warn(
+            f"result cache at {self.root} is not writable ({exc}); "
+            "continuing uncached",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
 
 def _spec_doc(batch: TrialBatch) -> dict:

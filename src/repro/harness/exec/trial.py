@@ -245,6 +245,12 @@ def run_spec_batch(
     indices = list(trial_indices)
     if not indices:
         return []
+    if len(set(indices)) != len(indices):
+        # A retrying executor that double-submitted a slice would
+        # otherwise silently skew the aggregate counts downstream.
+        raise ConfigurationError(
+            f"duplicate trial indices in batch slice: {indices}"
+        )
     seeds = [spec.trial_seed(base_seed, i) for i in indices]
     if spec.inputs in _SAMPLED_INPUT_KINDS:
         inputs = [

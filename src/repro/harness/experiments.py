@@ -17,12 +17,14 @@ per-experiment code.  Run everything from the command line::
 
     python -m repro.harness.experiments [--scale quick|full]
         [--only E5,E6] [--workers N] [--no-cache] [--cache-dir DIR]
+        [--retries N] [--chunk-timeout S] [--chaos PLAN.json]
 """
 
 from __future__ import annotations
 
 import argparse
 import math
+import os
 import random
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -68,6 +70,7 @@ from repro.harness.exec import (
     spec_params,
 )
 from repro.harness.report import Table, render_table
+from repro.harness.resilience import CHAOS_ENV, FaultPlan, RetryPolicy
 from repro.harness.runner import TrialStats
 from repro.protocols import SynRanProtocol
 
@@ -1109,13 +1112,43 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=None,
         help="result-cache directory (default: .repro-cache)",
     )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="retries per failed chunk before quarantine (default: 2)",
+    )
+    parser.add_argument(
+        "--chunk-timeout",
+        type=float,
+        default=None,
+        help="stall-detector window in seconds (default: wait forever)",
+    )
+    parser.add_argument(
+        "--chaos",
+        default=None,
+        metavar="PLAN.json",
+        help="fault-plan JSON to inject (chaos testing)",
+    )
     args = parser.parse_args(argv)
     if args.only:
         ids = parse_only(parser, args.only)
     else:
         ids = sorted(ALL_EXPERIMENTS, key=_experiment_order)
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    executor = make_executor(args.workers, cache=cache)
+    fault_plan = None
+    if args.chaos:
+        # The environment variable is what pool workers inherit; the
+        # loaded plan covers in-process execution and cache corruption.
+        os.environ[CHAOS_ENV] = args.chaos
+        fault_plan = FaultPlan.load(args.chaos)
+    executor = make_executor(
+        args.workers,
+        cache=cache,
+        retry=RetryPolicy(max_attempts=args.retries + 1),
+        chunk_timeout=args.chunk_timeout,
+        fault_plan=fault_plan,
+    )
     try:
         for exp_id in ids:
             table = ALL_EXPERIMENTS[exp_id](args.scale, executor=executor)
@@ -1125,6 +1158,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(
                 f"cache: {executor.cache_hits} batch hit(s), "
                 f"{executor.cache_misses} miss(es)"
+            )
+        summary = executor.resilience_summary()
+        if any(
+            summary[k]
+            for k in (
+                "resumed_chunks", "retries", "quarantined", "pool_rebuilds"
+            )
+        ):
+            print(
+                f"resilience: {summary['resumed_chunks']} chunk(s) "
+                f"resumed, {summary['retries']} retried, "
+                f"{summary['quarantined']} quarantined, "
+                f"{summary['pool_rebuilds']} pool rebuild(s)"
             )
     finally:
         executor.close()

@@ -71,6 +71,10 @@ class TrialStats:
             batches carry no verdicts, so the verdict-based checks
             below refuse to answer for them rather than report a
             vacuous pass.
+        missing_trials: Trials the executor expected but never
+            produced — quarantined chunks under the fail-stop-tolerant
+            executor.  Nonzero fails :meth:`structural_ok`, so a batch
+            with holes can never read as a clean pass.
     """
 
     decision_rounds: List[int] = field(default_factory=list)
@@ -79,6 +83,7 @@ class TrialStats:
     verdicts: List[Verdict] = field(default_factory=list)
     timeouts: int = 0
     engine_kind: str = ENGINE_REFERENCE
+    missing_trials: int = 0
 
     def __post_init__(self) -> None:
         if self.engine_kind not in ENGINE_KINDS:
@@ -89,12 +94,24 @@ class TrialStats:
 
     @classmethod
     def from_outcomes(
-        cls, outcomes: Iterable[TrialOutcome], *, engine_kind: str
+        cls,
+        outcomes: Iterable[TrialOutcome],
+        *,
+        engine_kind: str,
+        expected_trials: Optional[int] = None,
     ) -> "TrialStats":
-        """Aggregate per-trial outcomes (in trial-index order)."""
+        """Aggregate per-trial outcomes (in trial-index order).
+
+        ``expected_trials`` (when known — executors pass the batch's
+        trial count) records any shortfall in ``missing_trials``.
+        """
         stats = cls(engine_kind=engine_kind)
+        count = 0
         for outcome in sorted(outcomes, key=lambda o: o.trial_index):
             stats.append(outcome)
+            count += 1
+        if expected_trials is not None and count < expected_trials:
+            stats.missing_trials = expected_trials - count
         return stats
 
     def append(self, outcome: TrialOutcome) -> None:
@@ -133,9 +150,11 @@ class TrialStats:
         return sum(1 for v in self.verdicts if not v.ok)
 
     def structural_ok(self) -> bool:
-        """Engine-agnostic sanity: no timeouts, every trial decided."""
-        return self.timeouts == 0 and all(
-            d is not None for d in self.decisions
+        """Engine-agnostic sanity: complete, no timeouts, all decided."""
+        return (
+            self.missing_trials == 0
+            and self.timeouts == 0
+            and all(d is not None for d in self.decisions)
         )
 
     def _require_checked(self, method: str) -> None:

@@ -193,15 +193,22 @@ def run_sweep(
 
 def _cell_result(batch: TrialBatch, stats: TrialStats) -> SweepResult:
     spec = batch.spec
-    summary = stats.rounds_summary()
+    if stats.decision_rounds:
+        summary = stats.rounds_summary()
+        mean_rounds, std_rounds = summary.mean, summary.std
+        mean_crashes = sum(stats.crashes) / len(stats.crashes)
+    else:
+        # Every trial of the cell was quarantined by the executor; the
+        # cell survives as a NaN row instead of crashing the sweep.
+        mean_rounds = std_rounds = mean_crashes = float("nan")
     return SweepResult(
         protocol=spec.protocol,
         adversary=spec.adversary,
         n=spec.n,
         t=spec.t,
-        mean_rounds=summary.mean,
-        std_rounds=summary.std,
-        mean_crashes=sum(stats.crashes) / len(stats.crashes),
+        mean_rounds=mean_rounds,
+        std_rounds=std_rounds,
+        mean_crashes=mean_crashes,
         timeouts=stats.timeouts,
         violations=stats.violation_count(),
         theta_shape=expected_rounds_theta(spec.n, spec.t),

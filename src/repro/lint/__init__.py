@@ -4,8 +4,10 @@ Two halves guard the model contracts the paper's results depend on:
 
 * **Static pass** (``python -m repro.lint src`` or ``repro lint``):
   AST rules REP001 (no global-RNG usage), REP002 (registry
-  completeness), REP003 (adversary-knowledge boundary), and REP004
-  (paper-reference hygiene).  See ``docs/static_analysis.md``.
+  completeness), REP003 (adversary-knowledge boundary), REP004
+  (paper-reference hygiene), REP005 (no dead heavyweight imports),
+  and REP006 (fail-stop-safe futures).  See
+  ``docs/static_analysis.md``.
 * **Runtime pass** (:class:`SimSanitizer`): hooked into both engines
   behind a flag, asserting fail-stop semantics, failure budgets, round
   monotonicity, and decision irrevocability at execution time.

@@ -1,4 +1,4 @@
-"""The repo-specific rules REP001–REP004.
+"""The repo-specific rules REP001–REP006.
 
 Per-file rules receive a :class:`FileContext` (path + parsed AST) and a
 :class:`RuleConfig`; the project-level rule REP002 receives the whole
@@ -29,6 +29,12 @@ Rule summary (full prose in ``docs/static_analysis.md``):
   engines and benchmarks a heavy import is a statement of intent
   ("this module is vectorized"), and a dead one misleads readers and
   slows every worker spawn.
+* **REP006** — fail-stop-safe futures.  In modules using
+  ``concurrent.futures``: collecting ``future.result()`` without
+  exception handling is flagged (a single crashed worker then
+  discards every completed chunk), as is submitting a lambda or
+  nested function to a process pool (workers resolve callables by
+  import, so only module-level functions survive pickling).
 """
 
 from __future__ import annotations
@@ -51,10 +57,11 @@ __all__ = [
     "check_rep003",
     "check_rep004",
     "check_rep005",
+    "check_rep006",
     "paper_references",
 ]
 
-ALL_RULES = ("REP001", "REP002", "REP003", "REP004", "REP005")
+ALL_RULES = ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006")
 
 #: Top-level packages REP005 treats as heavyweight: importing one of
 #: these and never touching the binding costs worker-spawn time and
@@ -372,6 +379,170 @@ def check_rep005(ctx: FileContext, config: RuleConfig) -> List[Finding]:
                 symbol=origin,
             )
         )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# REP006 — fail-stop-safe futures
+# ----------------------------------------------------------------------
+
+
+def _uses_concurrent_futures(tree: ast.AST) -> bool:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            if any(
+                alias.name.split(".")[0] == "concurrent"
+                for alias in node.names
+            ):
+                return True
+        elif isinstance(node, ast.ImportFrom):
+            if node.module and node.module.split(".")[0] == "concurrent":
+                return True
+    return False
+
+
+def _pool_bindings(tree: ast.AST) -> Set[str]:
+    """Names (variables or attributes) bound to a ProcessPoolExecutor."""
+
+    def is_pool_ctor(expr: ast.expr) -> bool:
+        if not isinstance(expr, ast.Call):
+            return False
+        func = expr.func
+        name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr
+            if isinstance(func, ast.Attribute)
+            else ""
+        )
+        return name == "ProcessPoolExecutor"
+
+    def bind(target: ast.expr, names: Set[str]) -> None:
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+        elif isinstance(target, ast.Attribute):
+            names.add(target.attr)
+
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and is_pool_ctor(node.value):
+            for target in node.targets:
+                bind(target, names)
+        elif isinstance(node, ast.AnnAssign):
+            if node.value is not None and is_pool_ctor(node.value):
+                bind(node.target, names)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if is_pool_ctor(item.context_expr) and item.optional_vars:
+                    bind(item.optional_vars, names)
+    return names
+
+
+def check_rep006(ctx: FileContext, config: RuleConfig) -> List[Finding]:
+    """Flag fragile ``concurrent.futures`` usage.
+
+    Two patterns, both ones a fail-stop worker crash turns into data
+    loss: (a) ``future.result()`` outside any ``try`` with a handler —
+    the first ``BrokenProcessPool`` then unwinds past every completed
+    chunk; (b) a lambda or nested function submitted to a process
+    pool — workers resolve callables by import, so anything that is
+    not module-level dies in pickling.
+    """
+    if not _uses_concurrent_futures(ctx.tree):
+        return []
+
+    findings: List[Finding] = []
+    parents: Dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(ctx.tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+
+    def guarded(node: ast.AST) -> bool:
+        child: ast.AST = node
+        parent = parents.get(child)
+        while parent is not None:
+            if (
+                isinstance(parent, ast.Try)
+                and parent.handlers
+                and child in parent.body
+            ):
+                return True
+            child, parent = parent, parents.get(parent)
+        return False
+
+    # Function defs that are *not* module-level (nested in another
+    # function or a class) — submitting one to a process pool fails
+    # pickling, or worse, resolves to a stale import-time namesake.
+    nested_defs: Set[str] = set()
+    module_defs: Set[str] = set()
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if isinstance(parents.get(node), ast.Module):
+                module_defs.add(node.name)
+            else:
+                nested_defs.add(node.name)
+
+    pools = _pool_bindings(ctx.tree)
+
+    def emit(node: ast.AST, message: str, symbol: str) -> None:
+        findings.append(
+            Finding(
+                rule="REP006",
+                file=ctx.display_path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                message=message,
+                symbol=symbol,
+            )
+        )
+
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            continue
+        if func.attr == "result" and not node.args and not node.keywords:
+            if not guarded(node):
+                emit(
+                    node,
+                    "future.result() without exception handling: one "
+                    "crashed worker (BrokenProcessPool) discards every "
+                    "completed chunk; wrap the collection in try/except "
+                    "and retry or quarantine the failed chunk",
+                    "result",
+                )
+        elif func.attr in ("submit", "map") and node.args:
+            base = func.value
+            base_name = (
+                base.id
+                if isinstance(base, ast.Name)
+                else base.attr
+                if isinstance(base, ast.Attribute)
+                else ""
+            )
+            if base_name not in pools:
+                continue
+            target = node.args[0]
+            if isinstance(target, ast.Lambda):
+                emit(
+                    target,
+                    "lambda submitted to a process pool cannot be "
+                    "pickled; use a module-level function",
+                    "lambda",
+                )
+            elif (
+                isinstance(target, ast.Name)
+                and target.id in nested_defs
+                and target.id not in module_defs
+            ):
+                emit(
+                    target,
+                    f"nested function {target.id!r} submitted to a "
+                    "process pool cannot be pickled by import; move it "
+                    "to module level",
+                    target.id,
+                )
     return findings
 
 

@@ -30,6 +30,7 @@ from repro.lint.rules import (
     check_rep003,
     check_rep004,
     check_rep005,
+    check_rep006,
     paper_references,
     parse_file,
 )
@@ -41,6 +42,7 @@ _PER_FILE_RULES = {
     "REP003": check_rep003,
     "REP004": check_rep004,
     "REP005": check_rep005,
+    "REP006": check_rep006,
 }
 
 _ROOT_MARKERS = ("PAPER.md", "pyproject.toml", ".git")
@@ -178,7 +180,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "Repo-specific static analysis: REP001 no-global-RNG, "
             "REP002 registry completeness, REP003 adversary-knowledge "
             "boundary, REP004 paper-reference hygiene, REP005 no dead "
-            "heavyweight imports."
+            "heavyweight imports, REP006 fail-stop-safe futures."
         ),
     )
     parser.add_argument(

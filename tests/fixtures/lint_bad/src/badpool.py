@@ -1,0 +1,27 @@
+"""REP006 fixture: fragile concurrent.futures usage."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def collect(values):
+    results = []
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(lambda v: v + 1, v) for v in values]  # <- REP006
+        for future in futures:
+            results.append(future.result())  # <- REP006
+    return results
+
+
+def collect_nested(values):
+    def double(v):
+        return 2 * v
+
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(double, v) for v in values]  # <- REP006
+        out = []
+        for future in futures:
+            try:
+                out.append(future.result())  # guarded: not flagged
+            except Exception:
+                out.append(None)
+    return out

@@ -24,6 +24,7 @@ from repro.lint.rules import (
     check_rep003,
     check_rep004,
     check_rep005,
+    check_rep006,
     paper_references,
 )
 
@@ -319,6 +320,166 @@ class TestRep005:
             [str(FIXTURE_ROOT / "src" / "badimport.py")], select=["REP005"]
         )
         assert [f.rule for f in report.findings] == ["REP005"]
+
+
+# ----------------------------------------------------------------------
+# REP006 — fail-stop-safe futures
+# ----------------------------------------------------------------------
+
+
+class TestRep006:
+    def test_unguarded_result_flagged(self):
+        findings = _rules(
+            """
+            import concurrent.futures
+
+            def collect(futures):
+                return [f.result() for f in futures]
+            """,
+            check_rep006,
+        )
+        assert [f.rule for f in findings] == ["REP006"]
+        assert findings[0].symbol == "result"
+        assert "BrokenProcessPool" in findings[0].message
+
+    def test_guarded_result_clean(self):
+        findings = _rules(
+            """
+            import concurrent.futures
+
+            def collect(futures):
+                out = []
+                for f in futures:
+                    try:
+                        out.append(f.result())
+                    except Exception:
+                        out.append(None)
+                return out
+            """,
+            check_rep006,
+        )
+        assert findings == []
+
+    def test_result_with_timeout_arg_not_flagged(self):
+        # result(timeout=...) raises TimeoutError by design; the bare
+        # collection pattern is the one that loses completed work.
+        findings = _rules(
+            """
+            import concurrent.futures
+
+            def collect(futures):
+                return [f.result(timeout=1.0) for f in futures]
+            """,
+            check_rep006,
+        )
+        assert findings == []
+
+    def test_lambda_submission_flagged(self):
+        findings = _rules(
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def run(values):
+                with ProcessPoolExecutor() as pool:
+                    futs = [pool.submit(lambda v: v, v) for v in values]
+                out = []
+                for f in futs:
+                    try:
+                        out.append(f.result())
+                    except Exception:
+                        pass
+                return out
+            """,
+            check_rep006,
+        )
+        assert [f.rule for f in findings] == ["REP006"]
+        assert findings[0].symbol == "lambda"
+
+    def test_nested_def_submission_flagged(self):
+        findings = _rules(
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def run(values):
+                def work(v):
+                    return v + 1
+
+                pool = ProcessPoolExecutor()
+                try:
+                    return [pool.submit(work, v) for v in values]
+                finally:
+                    pool.shutdown()
+            """,
+            check_rep006,
+        )
+        assert [f.rule for f in findings] == ["REP006"]
+        assert findings[0].symbol == "work"
+
+    def test_module_level_callable_clean(self):
+        findings = _rules(
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def work(v):
+                return v + 1
+
+            def run(values):
+                with ProcessPoolExecutor() as pool:
+                    futs = [pool.submit(work, v) for v in values]
+                    out = []
+                    for f in futs:
+                        try:
+                            out.append(f.result())
+                        except Exception:
+                            pass
+                return out
+            """,
+            check_rep006,
+        )
+        assert findings == []
+
+    def test_pool_bound_to_attribute_tracked(self):
+        findings = _rules(
+            """
+            import concurrent.futures
+
+            class Runner:
+                def __init__(self):
+                    self._pool = concurrent.futures.ProcessPoolExecutor()
+
+                def go(self, values):
+                    return [
+                        self._pool.submit(lambda v: v, v) for v in values
+                    ]
+            """,
+            check_rep006,
+        )
+        assert [f.symbol for f in findings] == ["lambda"]
+
+    def test_module_without_futures_import_ignored(self):
+        # `.result()` and `.submit()` on arbitrary objects are only
+        # suspect in modules that actually use concurrent.futures.
+        findings = _rules(
+            """
+            class Calc:
+                def result(self):
+                    return 42
+
+            def f(c):
+                return c.result()
+            """,
+            check_rep006,
+        )
+        assert findings == []
+
+    def test_fixture_file_flagged_via_runner(self):
+        report = lint_paths(
+            [str(FIXTURE_ROOT / "src" / "badpool.py")], select=["REP006"]
+        )
+        assert {f.rule for f in report.findings} == {"REP006"}
+        assert {f.symbol for f in report.findings} == {
+            "lambda", "result", "double",
+        }
 
 
 # ----------------------------------------------------------------------

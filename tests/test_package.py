@@ -78,6 +78,9 @@ ALL_MODULES = [
     "repro.harness.experiments",
     "repro.harness.export",
     "repro.harness.report",
+    "repro.harness.resilience",
+    "repro.harness.resilience.chaos",
+    "repro.harness.resilience.policy",
     "repro.harness.runner",
     "repro.harness.sweep",
     "repro.harness.workloads",
