@@ -3,13 +3,16 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: lint replint ruff test bench bench-pytest check chaos experiments-quick
+.PHONY: lint lint-full replint ruff mypy test bench bench-pytest check chaos experiments-quick
 
-# Repo-specific static analysis (REP001-REP006).  Benchmarks and
-# examples are included so REP005 (dead heavyweight imports) covers
-# the perf-critical files too.
+# Repo-specific static analysis (REP001-REP008, including the
+# interprocedural determinism-taint and spec-payload rules).
+# Benchmarks and examples are included so REP005 (dead heavyweight
+# imports) and REP007 (determinism taint) cover the perf-critical
+# files too.  --cache makes warm re-runs re-analyze only changed
+# files (.repro-cache/lint/, gitignored).
 replint:
-	python -m repro.lint src benchmarks examples
+	python -m repro.lint src benchmarks examples --cache
 
 # Generic python lint; requires `pip install -e '.[lint]'`.  Skips
 # with a notice when ruff is absent so `make check` stays usable in
@@ -21,7 +24,19 @@ ruff:
 		echo "ruff not installed (pip install -e '.[lint]'); skipping"; \
 	fi
 
+# Optional-extra type check, same skip-with-notice contract as ruff.
+mypy:
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy src; \
+	else \
+		echo "mypy not installed (pip install -e '.[lint]'); skipping"; \
+	fi
+
 lint: ruff replint
+
+# Everything: repro-lint + ruff + mypy (the optional tools skip with
+# a notice when absent; CI runs them for real).
+lint-full: replint ruff mypy
 
 # Tier-1 test suite (the gate every change must keep green).
 test:

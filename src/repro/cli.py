@@ -11,8 +11,9 @@ Subcommands:
   exported as a table, CSV, or JSON.
 * ``experiments`` — the E1..E10 claim-reproduction suite (delegates
   to :mod:`repro.harness.experiments`).
-* ``lint`` — the repo-specific static-analysis pass (REP001–REP006;
-  delegates to :mod:`repro.lint`).
+* ``lint`` — the repo-specific static-analysis pass (REP001–REP008,
+  including the interprocedural determinism-taint and spec-payload
+  rules; delegates to :mod:`repro.lint`).
 
 ``run``, ``sweep``, and ``experiments`` execute through the
 :mod:`repro.harness.exec` core, so they share ``--workers N`` (process
@@ -267,6 +268,14 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     forwarded: List[str] = list(args.paths) + ["--format", args.format]
     if args.select:
         forwarded += ["--select", args.select]
+    if args.cache:
+        forwarded += ["--cache"]
+    if args.jobs is not None:
+        forwarded += ["--jobs", str(args.jobs)]
+    if args.no_baseline:
+        forwarded += ["--no-baseline"]
+    if args.write_baseline:
+        forwarded += ["--write-baseline"]
     return lint_main(forwarded)
 
 
@@ -480,14 +489,22 @@ def build_parser() -> argparse.ArgumentParser:
     exp.set_defaults(func=_cmd_experiments)
 
     lint = sub.add_parser(
-        "lint", help="repo-specific static analysis (REP001-REP006)"
+        "lint", help="repo-specific static analysis (REP001-REP008)"
     )
     lint.add_argument("paths", nargs="*", default=["src"])
     lint.add_argument(
-        "--format", choices=("json", "text"), default="json"
+        "--format", choices=("json", "text", "sarif"), default="json"
     )
     lint.add_argument("--select", default=None,
                       help="comma-separated rule ids")
+    lint.add_argument("--cache", action="store_true",
+                      help="enable the incremental analysis cache")
+    lint.add_argument("--jobs", type=int, default=None,
+                      help="parallel parse workers")
+    lint.add_argument("--no-baseline", action="store_true",
+                      help="ignore the checked-in baseline")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="record current findings as the baseline")
     lint.set_defaults(func=_cmd_lint)
 
     return parser

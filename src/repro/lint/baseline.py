@@ -1,0 +1,83 @@
+"""Checked-in baseline: accepted findings that do not fail the build.
+
+A baseline lets a *new rule* land warn-clean: run the linter once with
+``--write-baseline``, commit ``.repro-lint-baseline.json``, and every
+finding recorded there is reported as ``baselined`` (counted, not
+failed) until the offending code is actually touched.  Entries match
+by :meth:`Finding.fingerprint` — rule + file + symbol + message,
+independent of line numbers — so unrelated edits cannot resurrect a
+baselined finding, while changing the flagged code itself (different
+symbol or message) immediately un-baselines it.
+
+Each entry carries a free-form ``justification`` field; the expected
+workflow is to edit the written file and say *why* the finding is
+accepted rather than fixed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Set
+
+from repro.lint.findings import Finding
+
+__all__ = [
+    "BASELINE_FILENAME",
+    "load_baseline",
+    "write_baseline",
+]
+
+BASELINE_FILENAME = ".repro-lint-baseline.json"
+
+_FORMAT_VERSION = 1
+
+
+def load_baseline(path: Path) -> Set[str]:
+    """Fingerprints the baseline accepts; empty set when unreadable."""
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return set()
+    if not isinstance(doc, dict) or doc.get("version") != _FORMAT_VERSION:
+        return set()
+    entries = doc.get("entries")
+    if not isinstance(entries, list):
+        return set()
+    fingerprints: Set[str] = set()
+    for entry in entries:
+        if isinstance(entry, dict) and isinstance(
+            entry.get("fingerprint"), str
+        ):
+            fingerprints.add(entry["fingerprint"])
+    return fingerprints
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> int:
+    """Write a baseline accepting ``findings``; returns the entry count.
+
+    Entries are sorted and deduplicated by fingerprint so the file
+    diffs cleanly in review.
+    """
+    seen: Set[str] = set()
+    entries: List[dict] = []
+    for finding in findings:
+        fp = finding.fingerprint()
+        if fp in seen:
+            continue
+        seen.add(fp)
+        entries.append(
+            {
+                "rule": finding.rule,
+                "file": finding.file,
+                "symbol": finding.symbol,
+                "fingerprint": fp,
+                "justification": "",
+            }
+        )
+    entries.sort(key=lambda e: (e["rule"], e["file"], e["fingerprint"]))
+    doc = {"version": _FORMAT_VERSION, "entries": entries}
+    path.write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return len(entries)

@@ -1,0 +1,101 @@
+"""Conservative project call graph over the :class:`ProjectModel`.
+
+Edges are *resolved* call sites only: a call contributes an edge when
+the callee expression resolves (through import aliases, ``self``
+dispatch, and re-exports) to a function or class defined in the
+project.  Unresolvable calls — higher-order values, dynamic dispatch,
+externals — simply contribute no edge, so reachability queries
+under-approximate: they can miss a path, never fabricate one, which is
+the right polarity for lint rules that *flag* reachability (REP003's
+interprocedural pass, REP007's taint propagation).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.lint.project import FunctionInfo, ProjectModel
+
+__all__ = ["CallGraph", "CallSite"]
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved call edge: ``caller`` invokes ``callee`` at a line."""
+
+    caller: str
+    callee: str
+    line: int
+    col: int
+
+
+class CallGraph:
+    """Forward and reverse adjacency over qualified function names."""
+
+    def __init__(self) -> None:
+        self.sites: List[CallSite] = []
+        self._out: Dict[str, List[CallSite]] = {}
+        self._in: Dict[str, List[CallSite]] = {}
+
+    @classmethod
+    def build(cls, project: ProjectModel) -> "CallGraph":
+        graph = cls()
+        for fn in project.functions.values():
+            for call, dotted in iter_resolved_calls(project, fn):
+                callee = dotted
+                target = project.lookup_function(dotted)
+                if target is not None:
+                    callee = target.qualname
+                elif project.lookup_class(dotted) is None:
+                    continue
+                graph._add(
+                    CallSite(
+                        caller=fn.qualname,
+                        callee=callee,
+                        line=getattr(call, "lineno", 1),
+                        col=getattr(call, "col_offset", 0),
+                    )
+                )
+        return graph
+
+    def _add(self, site: CallSite) -> None:
+        self.sites.append(site)
+        self._out.setdefault(site.caller, []).append(site)
+        self._in.setdefault(site.callee, []).append(site)
+
+    def callees(self, caller: str) -> List[CallSite]:
+        return list(self._out.get(caller, ()))
+
+    def callers(self, callee: str) -> List[CallSite]:
+        return list(self._in.get(callee, ()))
+
+    def transitive_callees(self, start: str) -> Dict[str, CallSite]:
+        """Every function reachable from ``start``, mapped to the
+        *first-hop* call site of one path reaching it (the actionable
+        source location for a finding in ``start``'s module)."""
+        reached: Dict[str, CallSite] = {}
+        frontier: List[Tuple[str, Optional[CallSite]]] = [(start, None)]
+        while frontier:
+            name, first_hop = frontier.pop()
+            for site in self._out.get(name, ()):
+                hop = first_hop if first_hop is not None else site
+                if site.callee in reached:
+                    continue
+                reached[site.callee] = hop
+                frontier.append((site.callee, hop))
+        return reached
+
+
+def iter_resolved_calls(
+    project: ProjectModel, fn: FunctionInfo
+) -> Iterable[Tuple[ast.Call, str]]:
+    """Yield ``(call_node, dotted_path)`` for every call in ``fn``'s
+    body whose callee expression resolves to a dotted name."""
+    for node in ast.walk(fn.node):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = project.resolve(fn.module, node.func, fn.class_name)
+        if dotted is not None:
+            yield node, dotted

@@ -10,13 +10,21 @@ source carries an inline pragma::
     tally = random.random()  # repro-lint: disable=REP001
     risky_pair()             # repro-lint: disable=REP001,REP003
     anything_at_all()        # repro-lint: disable=all
+
+Pragmas are anchored to *statement spans*, not single lines: a pragma
+on the opening line of a multi-line call (or a multi-line ``def``
+signature) suppresses findings reported anywhere inside that
+statement's header span.  Pass the parsed tree to :func:`suppressions`
+to get the expansion; without a tree the exact-line behaviour is kept.
 """
 
 from __future__ import annotations
 
+import ast
+import hashlib
 import re
 from dataclasses import dataclass, field
-from typing import Dict, List, Set
+from typing import Dict, List, Optional, Set
 
 __all__ = ["Finding", "LintReport", "suppressions"]
 
@@ -59,6 +67,17 @@ class Finding:
         """``file:line:col: RULE message`` (clickable in most editors)."""
         return f"{self.file}:{self.line}:{self.col}: {self.rule} {self.message}"
 
+    def fingerprint(self) -> str:
+        """Stable identity for baselining, independent of line/column.
+
+        Keyed on rule, file, symbol, and message so a baselined
+        finding stays recognised when unrelated edits shift it down
+        the file, but lapses as soon as the offending code itself
+        changes shape.
+        """
+        material = f"{self.rule}|{self.file}|{self.symbol}|{self.message}"
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
+
 
 @dataclass
 class LintReport:
@@ -71,6 +90,12 @@ class LintReport:
     findings: List[Finding] = field(default_factory=list)
     files_scanned: int = 0
     rules_run: List[str] = field(default_factory=list)
+    #: Files whose rules actually executed this run (cache misses).
+    files_reanalyzed: int = 0
+    #: Files served from the incremental analysis cache.
+    cache_hits: int = 0
+    #: Findings dropped because the checked-in baseline covers them.
+    baselined: int = 0
 
     @property
     def ok(self) -> bool:
@@ -86,16 +111,48 @@ class LintReport:
         return {
             "ok": self.ok,
             "files_scanned": self.files_scanned,
+            "files_reanalyzed": self.files_reanalyzed,
+            "cache_hits": self.cache_hits,
+            "baselined": self.baselined,
             "rules_run": list(self.rules_run),
             "counts": self.counts_by_rule(),
             "findings": [f.to_dict() for f in self.findings],
         }
 
 
-def suppressions(source: str) -> Dict[int, Set[str]]:
+def _statement_spans(tree: ast.AST) -> List[tuple]:
+    """``(start, end)`` line spans a pragma on ``start`` should cover.
+
+    Simple statements span their full extent (a call broken over five
+    lines is one suppression target).  Compound statements (``def``,
+    ``class``, ``if``, ``for``, …) span only their *header* — from the
+    keyword line to the line before the first body statement — so a
+    pragma on a ``def`` line covers a multi-line signature without
+    silencing the whole function body.
+    """
+    spans: List[tuple] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        start = node.lineno
+        end = getattr(node, "end_lineno", start) or start
+        body = getattr(node, "body", None)
+        if isinstance(body, list) and body and isinstance(body[0], ast.stmt):
+            end = max(start, body[0].lineno - 1)
+        if end > start:
+            spans.append((start, end))
+    return spans
+
+
+def suppressions(
+    source: str, tree: Optional[ast.AST] = None
+) -> Dict[int, Set[str]]:
     """Map 1-based line numbers to the rule ids suppressed on that line.
 
-    The special id ``all`` suppresses every rule on the line.
+    The special id ``all`` suppresses every rule.  When ``tree`` is
+    given, a pragma on the opening line of a multi-line statement is
+    expanded over the statement's span (see :func:`_statement_spans`);
+    without a tree only the pragma's own line is covered.
     """
     out: Dict[int, Set[str]] = {}
     for lineno, text in enumerate(source.splitlines(), start=1):
@@ -108,5 +165,12 @@ def suppressions(source: str) -> Dict[int, Set[str]]:
             if token.strip()
         }
         if rules:
-            out[lineno] = rules
+            out.setdefault(lineno, set()).update(rules)
+    if tree is not None and out:
+        for start, end in _statement_spans(tree):
+            anchored = out.get(start)
+            if not anchored:
+                continue
+            for covered in range(start + 1, end + 1):
+                out.setdefault(covered, set()).update(anchored)
     return out

@@ -1,0 +1,763 @@
+"""Interprocedural rules over the project model: REP007, REP008, and
+the cross-module half of REP003.
+
+* **REP007 — determinism taint.**  A conservative forward taint
+  analysis from nondeterminism *sources* (wall clocks, ``os.urandom``,
+  ``uuid``, PIDs, the process-global ``random`` state, unseeded numpy
+  generators, set-iteration order) to deterministic-core *sinks* (the
+  ``TrialSpec``/``TrialBatch``/``ExecutionPlan`` payload constructors,
+  ``derive_trial_seed``/``spec_params``/``stream_keys``, and the
+  ``trial_seed``/``spec_hash``/``batch_key`` key methods).  Taint
+  propagates through local assignments, through the *return values* of
+  project functions (fixpoint over the call graph — the two-hop helper
+  chain REP001 cannot see), and into sinks through the *parameters* of
+  intermediate helpers.  Everything unresolvable is treated as opaque
+  but taint-preserving: a value computed *from* a tainted value stays
+  tainted.  ``sorted(...)`` launders set-*order* taint (that is its
+  job) but never value taint.
+
+* **REP008 — spec payload safety.**  The process-pool executor and the
+  content-addressed cache silently require payload dataclasses to be
+  frozen, hashable, and picklable.  REP008 checks every dataclass
+  whose name marks it as a payload (``*Spec``/``*Plan``/``*Batch``):
+  it must be ``frozen=True``, and no field may have an
+  unpicklable/unhashable annotation (``Callable``, locks, IO handles,
+  ``list``/``dict``/``set``) or a lambda / mutable / handle-creating
+  default.
+
+* **REP003 (interprocedural).**  The per-file rule flags an adversary
+  that reads ``.rng`` or ``_private`` state directly; this pass flags
+  an adversary that launders the same access through helper functions
+  in *other* modules, by walking the call graph from every
+  adversary-package function to any reachable non-adversary function
+  whose body performs the forbidden access.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.callgraph import CallGraph
+from repro.lint.findings import Finding
+from repro.lint.project import FunctionInfo, ModuleInfo, ProjectModel
+from repro.lint.rules import _NUMPY_SEEDABLE, RuleConfig
+
+__all__ = [
+    "TaintAnalysis",
+    "check_rep003_interproc",
+    "check_rep007",
+    "check_rep008",
+    "is_spec_payload_class",
+]
+
+# ----------------------------------------------------------------------
+# Sources and sinks
+# ----------------------------------------------------------------------
+
+#: Exact dotted paths that read wall clocks / OS identity / OS entropy.
+_VALUE_SOURCES = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.clock_gettime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "os.urandom",
+        "os.getpid",
+        "os.getppid",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "uuid.getnode",
+    }
+)
+
+#: Dotted prefixes that are nondeterministic wholesale.
+_SOURCE_PREFIXES = ("secrets.",)
+
+#: Names whose *call* builds an unordered collection.
+_SET_BUILDERS = frozenset({"set", "frozenset"})
+
+#: Free functions / constructors that feed the deterministic core.
+_SINK_CALLABLES = frozenset(
+    {
+        "TrialSpec",
+        "TrialBatch",
+        "ExecutionPlan",
+        "derive_trial_seed",
+        "spec_params",
+        "stream_keys",
+    }
+)
+
+#: Method tails that compute derived seeds / stream keys / cache keys.
+_SINK_METHODS = frozenset({"trial_seed", "spec_hash", "batch_key"})
+
+_PAYLOAD_NAME_RE = re.compile(r"(Spec|Plan|Batch)$")
+
+#: Field annotations that break pickling across a process boundary.
+_UNPICKLABLE_TYPE_NAMES = frozenset(
+    {
+        "Callable",
+        "Lock",
+        "RLock",
+        "Condition",
+        "Event",
+        "Semaphore",
+        "BoundedSemaphore",
+        "Barrier",
+        "Thread",
+        "Queue",
+        "IO",
+        "TextIO",
+        "BinaryIO",
+        "IOBase",
+        "TextIOWrapper",
+        "BufferedReader",
+        "BufferedWriter",
+        "FileIO",
+        "socket",
+    }
+)
+
+#: Field annotations that make a frozen payload unhashable / mutable.
+_MUTABLE_TYPE_NAMES = frozenset(
+    {
+        "list",
+        "dict",
+        "set",
+        "List",
+        "Dict",
+        "Set",
+        "DefaultDict",
+        "defaultdict",
+        "OrderedDict",
+        "Counter",
+        "deque",
+        "bytearray",
+        "MutableMapping",
+        "MutableSequence",
+        "MutableSet",
+    }
+)
+
+#: Zero-argument constructors whose result must not be a field default.
+_HANDLE_CTORS = frozenset(
+    {"open", "Lock", "RLock", "Condition", "Event", "Semaphore", "list",
+     "dict", "set"}
+)
+
+
+@dataclass(frozen=True)
+class Taint:
+    """Why a value is nondeterministic: ``kind`` is ``"value"`` (the
+    bits themselves vary) or ``"order"`` (set-iteration order)."""
+
+    kind: str
+    desc: str
+
+
+def _classify_source(dotted: Optional[str], call: ast.Call) -> Optional[Taint]:
+    """Taint introduced by calling ``dotted``, if any."""
+    if dotted is None:
+        return None
+    if dotted in _VALUE_SOURCES:
+        return Taint("value", f"{dotted}()")
+    if any(dotted.startswith(p) for p in _SOURCE_PREFIXES):
+        return Taint("value", f"{dotted}()")
+    unseeded = not call.args and not call.keywords
+    if dotted == "random.Random":
+        return Taint("value", "unseeded random.Random()") if unseeded else None
+    if dotted == "random.SystemRandom":
+        return Taint("value", "random.SystemRandom()")
+    if dotted.startswith("random."):
+        return Taint("value", f"global {dotted}()")
+    if dotted in ("numpy.random.default_rng", "numpy.random.RandomState"):
+        return Taint("value", f"unseeded {dotted}()") if unseeded else None
+    if dotted.startswith("numpy.random."):
+        tail = dotted.rsplit(".", 1)[1]
+        if tail not in _NUMPY_SEEDABLE:
+            return Taint("value", f"global {dotted}()")
+    return None
+
+
+def is_spec_payload_class(node: ast.ClassDef) -> bool:
+    """A dataclass whose name marks it as executor/cache payload."""
+    if not _PAYLOAD_NAME_RE.search(node.name):
+        return False
+    return _dataclass_decorator(node) is not None
+
+
+def _dataclass_decorator(node: ast.ClassDef) -> Optional[ast.expr]:
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        name = (
+            target.id
+            if isinstance(target, ast.Name)
+            else target.attr
+            if isinstance(target, ast.Attribute)
+            else ""
+        )
+        if name == "dataclass":
+            return deco
+    return None
+
+
+def _is_frozen_dataclass(node: ast.ClassDef) -> bool:
+    deco = _dataclass_decorator(node)
+    if not isinstance(deco, ast.Call):
+        return False
+    for kw in deco.keywords:
+        if kw.arg == "frozen" and isinstance(kw.value, ast.Constant):
+            return bool(kw.value.value)
+    return False
+
+
+# ----------------------------------------------------------------------
+# REP007 — determinism taint
+# ----------------------------------------------------------------------
+
+
+class TaintAnalysis:
+    """Fixpoint taint propagation over the project's call graph."""
+
+    def __init__(self, project: ProjectModel) -> None:
+        self.project = project
+        #: qualname -> taint carried by the function's return value
+        self.returns: Dict[str, Taint] = {}
+        #: qualname -> {param name: sink description it flows into}
+        self.param_sinks: Dict[str, Dict[str, str]] = {}
+
+    # -- public API -----------------------------------------------------
+
+    def run(self) -> List[Finding]:
+        functions = list(self.project.functions.values())
+        for _ in range(12):
+            changed = False
+            for fn in functions:
+                changed |= self._scan(fn, findings=None)
+            if not changed:
+                break
+        findings: List[Finding] = []
+        for fn in functions:
+            self._scan(fn, findings=findings)
+        return findings
+
+    # -- sink classification -------------------------------------------
+
+    def _sink_name(
+        self, module: ModuleInfo, call: ast.Call, class_name: Optional[str]
+    ) -> Optional[str]:
+        dotted = self.project.resolve(module, call.func, class_name)
+        if dotted is not None:
+            tail = dotted.rsplit(".", 1)[-1]
+            if tail in _SINK_CALLABLES and (
+                dotted.startswith("repro.")
+                or self.project.lookup_class(dotted) is not None
+                or self.project.lookup_function(dotted) is not None
+            ):
+                return tail
+            cls = self.project.lookup_class(dotted)
+            if cls is not None and is_spec_payload_class(cls):
+                return cls.name
+        func = call.func
+        if isinstance(func, ast.Attribute) and func.attr in _SINK_METHODS:
+            return func.attr
+        return None
+
+    # -- per-function scan ---------------------------------------------
+
+    def _scan(
+        self, fn: FunctionInfo, findings: Optional[List[Finding]]
+    ) -> bool:
+        """One in-order pass over ``fn``'s body.
+
+        With ``findings=None`` this is a *collecting* pass: it updates
+        the function's return-taint and param-to-sink summaries and
+        reports whether either changed.  With a list it is a
+        *reporting* pass emitting REP007 findings at sink call sites.
+        """
+        module, class_name = fn.module, fn.class_name
+        tainted: Dict[str, Taint] = {}
+        set_valued: Set[str] = set()
+        derived: Dict[str, Set[str]] = {p: {p} for p in fn.params}
+        return_taint: Optional[Taint] = None
+        param_sinks: Dict[str, str] = {}
+
+        def resolve(expr: ast.expr) -> Optional[str]:
+            return self.project.resolve(module, expr, class_name)
+
+        def is_set_expr(expr: ast.expr) -> bool:
+            if isinstance(expr, (ast.Set, ast.SetComp)):
+                return True
+            if isinstance(expr, ast.Name) and expr.id in set_valued:
+                return True
+            if isinstance(expr, ast.Call):
+                name = (
+                    expr.func.id if isinstance(expr.func, ast.Name) else None
+                )
+                return name in _SET_BUILDERS
+            return False
+
+        def expr_taint(expr: Optional[ast.expr]) -> Optional[Taint]:
+            if expr is None:
+                return None
+            if isinstance(expr, ast.Name):
+                return tainted.get(expr.id)
+            if isinstance(expr, ast.Lambda):
+                return None
+            if isinstance(expr, ast.Call):
+                dotted = resolve(expr.func)
+                source = _classify_source(dotted, expr)
+                if source is not None:
+                    return source
+                bare = (
+                    expr.func.id if isinstance(expr.func, ast.Name) else None
+                )
+                if bare == "sorted" or (
+                    dotted is not None and dotted == "sorted"
+                ):
+                    # sorted() launders iteration-*order* taint only.
+                    inner = expr_taint(expr.args[0]) if expr.args else None
+                    return inner if inner and inner.kind == "value" else None
+                if bare in _SET_BUILDERS:
+                    return None
+                if bare in ("list", "tuple", "iter") and expr.args:
+                    if is_set_expr(expr.args[0]):
+                        return Taint(
+                            "order",
+                            "iteration order of an unordered set",
+                        )
+                target = self.project.lookup_function(dotted)
+                if target is not None:
+                    ret = self.returns.get(target.qualname)
+                    if ret is not None:
+                        short = target.qualname.rsplit(".", 1)[-1]
+                        return Taint(ret.kind, f"{short}() <- {ret.desc}")
+                for child in list(expr.args) + [
+                    kw.value for kw in expr.keywords
+                ]:
+                    inner = expr_taint(child)
+                    if inner is not None:
+                        return inner
+                return None
+            if isinstance(
+                expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+            ):
+                for gen in expr.generators:
+                    if is_set_expr(gen.iter):
+                        return Taint(
+                            "order", "iteration order of an unordered set"
+                        )
+                    inner = expr_taint(gen.iter)
+                    if inner is not None:
+                        return inner
+                return None
+            for child in ast.iter_child_nodes(expr):
+                if isinstance(child, ast.expr):
+                    inner = expr_taint(child)
+                    if inner is not None:
+                        return inner
+            return None
+
+        def param_roots(expr: ast.expr) -> Set[str]:
+            roots: Set[str] = set()
+            for node in ast.walk(expr):
+                if isinstance(node, ast.Name):
+                    roots |= derived.get(node.id, set())
+            return roots
+
+        def bind(target: ast.expr, taint: Optional[Taint],
+                 roots: Set[str], setish: bool) -> None:
+            if isinstance(target, (ast.Tuple, ast.List)):
+                for elt in target.elts:
+                    bind(elt, taint, roots, False)
+                return
+            if isinstance(target, ast.Name):
+                if taint is not None:
+                    tainted[target.id] = taint
+                else:
+                    tainted.pop(target.id, None)
+                if roots:
+                    derived[target.id] = set(roots)
+                if setish:
+                    set_valued.add(target.id)
+                else:
+                    set_valued.discard(target.id)
+
+        def check_call(call: ast.Call) -> None:
+            """Flag tainted arguments reaching sinks (directly or via a
+            helper whose parameter flows into a sink)."""
+            nonlocal param_sinks
+            sink = self._sink_name(module, call, class_name)
+            dotted = resolve(call.func)
+            target = self.project.lookup_function(dotted)
+            target_sinks: Dict[str, str] = {}
+            tparams: Tuple[str, ...] = ()
+            if target is not None:
+                target_sinks = self.param_sinks.get(target.qualname, {})
+                tparams = target.params
+                if tparams and tparams[0] in ("self", "cls"):
+                    tparams = tparams[1:]
+
+            def arg_sink_desc(position: Optional[int],
+                              keyword: Optional[str]) -> Optional[str]:
+                if sink is not None:
+                    return sink
+                if keyword is not None and keyword in target_sinks:
+                    return target_sinks[keyword]
+                if (
+                    position is not None
+                    and position < len(tparams)
+                    and tparams[position] in target_sinks
+                ):
+                    return target_sinks[tparams[position]]
+                return None
+
+            pairs: List[Tuple[Optional[int], Optional[str], ast.expr]] = [
+                (i, None, arg) for i, arg in enumerate(call.args)
+            ] + [(None, kw.arg, kw.value) for kw in call.keywords if kw.arg]
+            for position, keyword, arg in pairs:
+                desc = arg_sink_desc(position, keyword)
+                if desc is None:
+                    continue
+                for root in param_roots(arg):
+                    param_sinks.setdefault(root, desc)
+                if findings is None:
+                    continue
+                taint = expr_taint(arg)
+                if taint is None:
+                    continue
+                label = (
+                    f"argument {keyword!r}" if keyword is not None
+                    else f"argument {position}"
+                )
+                findings.append(
+                    Finding(
+                        rule="REP007",
+                        file=module.ctx.display_path,
+                        line=getattr(call, "lineno", 1),
+                        col=getattr(call, "col_offset", 0),
+                        message=(
+                            f"nondeterministic value ({taint.desc}) "
+                            f"reaches deterministic-core sink "
+                            f"'{desc}' via {label}; seeds, stream "
+                            "keys, and cache keys must be pure "
+                            "functions of the master seed"
+                        ),
+                        symbol=desc,
+                    )
+                )
+
+        def visit_calls(node: ast.AST) -> None:
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Call):
+                    check_call(sub)
+
+        def walk(stmts: Sequence[ast.stmt]) -> None:
+            nonlocal return_taint
+            for stmt in stmts:
+                if isinstance(
+                    stmt,
+                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+                ):
+                    continue  # nested scopes analysed separately
+                if isinstance(stmt, ast.Assign):
+                    visit_calls(stmt.value)
+                    taint = expr_taint(stmt.value)
+                    roots = param_roots(stmt.value)
+                    setish = is_set_expr(stmt.value)
+                    for target in stmt.targets:
+                        bind(target, taint, roots, setish)
+                elif isinstance(stmt, ast.AnnAssign):
+                    if stmt.value is not None:
+                        visit_calls(stmt.value)
+                        bind(
+                            stmt.target,
+                            expr_taint(stmt.value),
+                            param_roots(stmt.value),
+                            is_set_expr(stmt.value),
+                        )
+                elif isinstance(stmt, ast.AugAssign):
+                    visit_calls(stmt.value)
+                    taint = expr_taint(stmt.value)
+                    if taint is not None:
+                        bind(stmt.target, taint, param_roots(stmt.value), False)
+                elif isinstance(stmt, ast.Return):
+                    if stmt.value is not None:
+                        visit_calls(stmt.value)
+                        taint = expr_taint(stmt.value)
+                        if taint is not None and return_taint is None:
+                            return_taint = taint
+                elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                    visit_calls(stmt.iter)
+                    if is_set_expr(stmt.iter):
+                        bind(
+                            stmt.target,
+                            Taint(
+                                "order",
+                                "iteration order of an unordered set",
+                            ),
+                            set(),
+                            False,
+                        )
+                    else:
+                        iter_taint = expr_taint(stmt.iter)
+                        if iter_taint is not None:
+                            bind(stmt.target, iter_taint,
+                                 param_roots(stmt.iter), False)
+                    walk(stmt.body)
+                    walk(stmt.orelse)
+                elif isinstance(stmt, ast.If):
+                    visit_calls(stmt.test)
+                    walk(stmt.body)
+                    walk(stmt.orelse)
+                elif isinstance(stmt, ast.While):
+                    visit_calls(stmt.test)
+                    walk(stmt.body)
+                    walk(stmt.orelse)
+                elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                    for item in stmt.items:
+                        visit_calls(item.context_expr)
+                    walk(stmt.body)
+                elif isinstance(stmt, ast.Try):
+                    walk(stmt.body)
+                    for handler in stmt.handlers:
+                        walk(handler.body)
+                    walk(stmt.orelse)
+                    walk(stmt.finalbody)
+                else:
+                    visit_calls(stmt)
+
+        walk(fn.body)
+
+        changed = False
+        if return_taint is not None and fn.qualname not in self.returns:
+            self.returns[fn.qualname] = return_taint
+            changed = True
+        previous = self.param_sinks.get(fn.qualname, {})
+        if param_sinks and param_sinks != previous:
+            merged = dict(previous)
+            merged.update(param_sinks)
+            if merged != previous:
+                self.param_sinks[fn.qualname] = merged
+                changed = True
+        return changed
+
+
+def check_rep007(
+    project: ProjectModel, config: RuleConfig
+) -> List[Finding]:
+    """Interprocedural determinism taint (see module docstring)."""
+    return TaintAnalysis(project).run()
+
+
+# ----------------------------------------------------------------------
+# REP008 — spec payload safety
+# ----------------------------------------------------------------------
+
+
+def _annotation_exprs(ann: ast.expr) -> List[ast.expr]:
+    """The annotation plus any string-literal sub-annotations parsed."""
+    exprs = [ann]
+    for node in ast.walk(ann):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            try:
+                exprs.append(ast.parse(node.value, mode="eval").body)
+            except SyntaxError:
+                pass
+    return exprs
+
+
+def _annotation_names(ann: ast.expr) -> Set[str]:
+    names: Set[str] = set()
+    for expr in _annotation_exprs(ann):
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Name):
+                names.add(node.id)
+            elif isinstance(node, ast.Attribute):
+                names.add(node.attr)
+    return names
+
+
+def _default_problem(value: ast.expr) -> Optional[str]:
+    """Why ``value`` must not be a payload field default, if flagged."""
+    if isinstance(value, ast.Lambda):
+        return "a lambda default cannot be pickled across a process boundary"
+    if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                          ast.SetComp, ast.DictComp)):
+        return "a mutable default breaks hashing and shares state"
+    if isinstance(value, ast.Call):
+        func = value.func
+        name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr
+            if isinstance(func, ast.Attribute)
+            else ""
+        )
+        if name in _HANDLE_CTORS:
+            return (
+                f"default built by {name}() is mutable or holds an "
+                "OS handle; payloads must carry primitives and tuples"
+            )
+        if name == "field":
+            for kw in value.keywords:
+                if kw.arg == "default" and _default_problem(kw.value):
+                    return _default_problem(kw.value)
+                if kw.arg == "default_factory":
+                    factory = kw.value
+                    fname = (
+                        factory.id if isinstance(factory, ast.Name) else ""
+                    )
+                    if isinstance(factory, ast.Lambda):
+                        return (
+                            "a lambda default_factory hides a "
+                            "per-instance value the cache key cannot see"
+                        )
+                    if fname in ("list", "dict", "set"):
+                        return (
+                            f"default_factory={fname} makes the field "
+                            "mutable and unhashable"
+                        )
+    return None
+
+
+def check_rep008(
+    project: ProjectModel, config: RuleConfig
+) -> List[Finding]:
+    """Spec payload safety (see module docstring)."""
+    findings: List[Finding] = []
+    for module in project.modules.values():
+        for cls in module.classes.values():
+            if not is_spec_payload_class(cls):
+                continue
+
+            def emit(node: ast.AST, message: str, symbol: str) -> None:
+                findings.append(
+                    Finding(
+                        rule="REP008",
+                        file=module.ctx.display_path,
+                        line=getattr(node, "lineno", 1),
+                        col=getattr(node, "col_offset", 0),
+                        message=message,
+                        symbol=symbol,
+                    )
+                )
+
+            if not _is_frozen_dataclass(cls):
+                emit(
+                    cls,
+                    f"spec payload dataclass {cls.name!r} is not "
+                    "frozen=True; the executor and cache require "
+                    "immutable, hashable payloads",
+                    cls.name,
+                )
+            for stmt in cls.body:
+                if not isinstance(stmt, ast.AnnAssign) or not isinstance(
+                    stmt.target, ast.Name
+                ):
+                    continue
+                field_name = stmt.target.id
+                names = _annotation_names(stmt.annotation)
+                if "ClassVar" in names:
+                    continue
+                bad_pickle = sorted(names & _UNPICKLABLE_TYPE_NAMES)
+                bad_mutable = sorted(names & _MUTABLE_TYPE_NAMES)
+                if bad_pickle:
+                    emit(
+                        stmt,
+                        f"field {field_name!r} of payload {cls.name!r} "
+                        f"is annotated {bad_pickle[0]!r}, which cannot "
+                        "cross the process-pool / cache boundary; "
+                        "carry a registry *name* (str) instead",
+                        f"{cls.name}.{field_name}",
+                    )
+                elif bad_mutable:
+                    emit(
+                        stmt,
+                        f"field {field_name!r} of payload {cls.name!r} "
+                        f"is annotated {bad_mutable[0]!r}; frozen "
+                        "payloads need hashable fields — use a tuple",
+                        f"{cls.name}.{field_name}",
+                    )
+                if stmt.value is not None:
+                    problem = _default_problem(stmt.value)
+                    if problem:
+                        emit(
+                            stmt,
+                            f"field {field_name!r} of payload "
+                            f"{cls.name!r}: {problem}",
+                            f"{cls.name}.{field_name}",
+                        )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# REP003 — interprocedural adversary-knowledge boundary
+# ----------------------------------------------------------------------
+
+
+def _boundary_leak(fn: FunctionInfo) -> Optional[str]:
+    """Description of a forbidden foreign-state access in ``fn``."""
+    for node in ast.walk(fn.node):
+        if not isinstance(node, ast.Attribute):
+            continue
+        base = node.value
+        if isinstance(base, ast.Name) and base.id in ("self", "cls"):
+            continue
+        if node.attr == "rng":
+            return "reads '.rng' (a process's future coins)"
+        if node.attr.startswith("_") and not node.attr.startswith("__"):
+            return f"touches private attribute '{node.attr}'"
+    return None
+
+
+def check_rep003_interproc(
+    project: ProjectModel, graph: CallGraph, config: RuleConfig
+) -> List[Finding]:
+    """Flag adversary code reaching engine-private state through
+    helpers in other modules (the per-file rule covers direct access)."""
+    leaks: Dict[str, str] = {}
+    for fn in project.functions.values():
+        if fn.module.in_adversary_package:
+            continue
+        leak = _boundary_leak(fn)
+        if leak is not None:
+            leaks[fn.qualname] = leak
+
+    findings: List[Finding] = []
+    for fn in project.functions.values():
+        if not fn.module.in_adversary_package:
+            continue
+        reached = graph.transitive_callees(fn.qualname)
+        for callee, first_hop in sorted(reached.items()):
+            leak = leaks.get(callee)
+            if leak is None:
+                continue
+            findings.append(
+                Finding(
+                    rule="REP003",
+                    file=fn.module.ctx.display_path,
+                    line=first_hop.line,
+                    col=first_hop.col,
+                    message=(
+                        f"adversary reaches engine-private state "
+                        f"through a helper chain: {callee!r} {leak}; "
+                        "adversaries may only use the public view/API "
+                        "of sim.model"
+                    ),
+                    symbol=callee.rsplit(".", 1)[-1],
+                )
+            )
+    return findings

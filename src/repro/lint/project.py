@@ -1,0 +1,290 @@
+"""Whole-project model: modules, symbol tables, and name resolution.
+
+The per-file rules (REP001, REP004, …) see one AST at a time; the
+interprocedural rules (REP007 determinism taint, REP008 spec payload
+safety, the cross-module half of REP003) need to know *what a name at
+a call site actually refers to*, across module boundaries.  This
+module builds that substrate once per lint invocation:
+
+* :func:`module_name` — dotted module name of a source path (anchored
+  at the nearest ``src`` path segment, matching the repo layout and
+  the fixture trees).
+* :class:`ModuleInfo` — one parsed module: its import table (local
+  binding → dotted target), its functions and methods (qualified
+  names), and its classes.
+* :class:`ProjectModel` — the whole tree: global function table plus
+  :meth:`ProjectModel.resolve`, which turns a ``Name``/``Attribute``
+  expression at a call site into a dotted path, following import
+  aliases, ``self``/``cls`` method dispatch, and (via
+  :meth:`lookup_function`) one level of package re-exports such as
+  ``from repro.harness.exec import TrialSpec``.
+
+Resolution is deliberately *conservative*: anything dynamic
+(subscripts, call results, rebound names) resolves to ``None`` and
+the interprocedural rules treat it as opaque.  A missed edge can cost
+a finding, never invent one.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.lint.rules import FileContext
+
+__all__ = [
+    "FunctionInfo",
+    "MODULE_BODY",
+    "ModuleInfo",
+    "ProjectModel",
+    "module_name",
+]
+
+#: Pseudo-function name under which a module's top-level statements are
+#: registered, so module-level sink calls (e.g. a constant TrialSpec
+#: built at import time) participate in the taint analysis.
+MODULE_BODY = "<module>"
+
+
+def module_name(path: object) -> str:
+    """Dotted module name for ``path`` (a :class:`pathlib.Path`).
+
+    Anchored at the *last* ``src`` segment so both the real tree
+    (``src/repro/sim/engine.py`` → ``repro.sim.engine``) and fixture
+    trees (``tests/fixtures/lint_bad/src/badtaint.py`` → ``badtaint``)
+    get stable names.  Without a ``src`` anchor the file's stem (plus
+    any leading package dirs after the first anchor-less part) is used.
+    """
+    parts = list(getattr(path, "parts", ()))
+    if not parts:
+        return ""
+    stem = parts[-1]
+    if stem.endswith(".py"):
+        stem = stem[:-3]
+    parts[-1] = stem
+    if "src" in parts[:-1]:
+        anchor = len(parts) - 2 - parts[-2::-1].index("src")
+        parts = parts[anchor + 1:]
+    else:
+        parts = parts[-1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method, addressable by qualified name."""
+
+    qualname: str
+    module: "ModuleInfo"
+    node: ast.AST
+    class_name: Optional[str] = None
+    params: Tuple[str, ...] = ()
+
+    @property
+    def body(self) -> List[ast.stmt]:
+        return list(getattr(self.node, "body", []))
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module with its symbol and import tables."""
+
+    name: str
+    ctx: FileContext
+    imports: Dict[str, str] = field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ast.ClassDef] = field(default_factory=dict)
+
+    @property
+    def in_adversary_package(self) -> bool:
+        return self.ctx.in_adversary_package
+
+
+def _record_imports(module: ModuleInfo, tree: ast.AST) -> None:
+    pkg_parts = module.name.split(".") if module.name else []
+    if not module.ctx.path.name.startswith("__init__"):
+        pkg_parts = pkg_parts[:-1]
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    module.imports[alias.asname] = alias.name
+                else:
+                    top = alias.name.split(".")[0]
+                    module.imports.setdefault(top, top)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base = pkg_parts[: len(pkg_parts) - (node.level - 1)]
+                prefix = ".".join(base + ([node.module] if node.module else []))
+            else:
+                prefix = node.module or ""
+            if not prefix:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                module.imports[local] = f"{prefix}.{alias.name}"
+
+
+def _fn_params(node: ast.AST) -> Tuple[str, ...]:
+    args = getattr(node, "args", None)
+    if args is None:
+        return ()
+    names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+    if args.vararg:
+        names.append(args.vararg.arg)
+    if args.kwarg:
+        names.append(args.kwarg.arg)
+    return tuple(names)
+
+
+def _collect_functions(module: ModuleInfo) -> None:
+    tree = module.ctx.tree
+
+    def visit(nodes: List[ast.stmt], class_name: Optional[str]) -> None:
+        for node in nodes:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scope = f".{class_name}" if class_name else ""
+                qualname = f"{module.name}{scope}.{node.name}"
+                module.functions[qualname] = FunctionInfo(
+                    qualname=qualname,
+                    module=module,
+                    node=node,
+                    class_name=class_name,
+                    params=_fn_params(node),
+                )
+                # Nested defs are not addressable from outside; their
+                # bodies still belong to the enclosing function's scan.
+            elif isinstance(node, ast.ClassDef):
+                module.classes[node.name] = node
+                visit(node.body, node.name)
+
+    if isinstance(tree, ast.Module):
+        visit(tree.body, None)
+        top_level = [
+            stmt
+            for stmt in tree.body
+            if not isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            )
+        ]
+        if top_level:
+            pseudo = ast.Module(body=top_level, type_ignores=[])
+            qualname = f"{module.name}.{MODULE_BODY}"
+            module.functions[qualname] = FunctionInfo(
+                qualname=qualname, module=module, node=pseudo
+            )
+
+
+class ProjectModel:
+    """All parsed modules plus cross-module name resolution."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+
+    @classmethod
+    def build(cls, contexts: List[FileContext]) -> "ProjectModel":
+        project = cls()
+        for ctx in contexts:
+            name = module_name(ctx.path)
+            module = ModuleInfo(name=name, ctx=ctx)
+            _record_imports(module, ctx.tree)
+            _collect_functions(module)
+            project.modules[name] = module
+            project.functions.update(module.functions)
+        return project
+
+    # -- name resolution ------------------------------------------------
+
+    def resolve(
+        self,
+        module: ModuleInfo,
+        expr: ast.expr,
+        class_name: Optional[str] = None,
+    ) -> Optional[str]:
+        """Dotted path of a ``Name``/``Attribute`` chain, or ``None``.
+
+        ``self.helper``/``cls.helper`` inside class ``C`` resolves to
+        ``<module>.C.helper``; a plain name resolves through the import
+        table, then the module's own defs/classes.
+        """
+        parts: List[str] = []
+        node = expr
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(node.id)
+        parts.reverse()
+        head, rest = parts[0], parts[1:]
+        if head in ("self", "cls") and class_name:
+            if not rest:
+                return None
+            return ".".join([module.name, class_name] + rest)
+        if head in module.imports:
+            return ".".join([module.imports[head]] + rest)
+        local = f"{module.name}.{head}"
+        if local in module.functions or head in module.classes:
+            return ".".join([local] + rest)
+        return None
+
+    def lookup_function(
+        self, dotted: Optional[str], _depth: int = 0
+    ) -> Optional[FunctionInfo]:
+        """Find a project function by dotted path, following re-exports.
+
+        ``from repro.harness.exec import TrialSpec`` resolves call
+        sites to ``repro.harness.exec.TrialSpec`` even though the
+        definition lives in ``repro.harness.exec.spec``; this follows
+        the package ``__init__``'s own import table (bounded hops, no
+        cycles beyond the depth cap).
+        """
+        if dotted is None or _depth > 4:
+            return None
+        hit = self.functions.get(dotted)
+        if hit is not None:
+            return hit
+        head, _, tail = dotted.rpartition(".")
+        while head:
+            owner = self.modules.get(head)
+            if owner is not None:
+                suffix = dotted[len(head) + 1:]
+                first, _, remainder = suffix.partition(".")
+                target = owner.imports.get(first)
+                if target is None:
+                    return None
+                rejoined = target + ("." + remainder if remainder else "")
+                if rejoined == dotted:
+                    return None
+                return self.lookup_function(rejoined, _depth + 1)
+            head, _, _ = head.rpartition(".")
+        return None
+
+    def lookup_class(self, dotted: Optional[str]) -> Optional[ast.ClassDef]:
+        """Find a project class by dotted path (re-exports followed)."""
+        if dotted is None:
+            return None
+        head, _, tail = dotted.rpartition(".")
+        seen = 0
+        while head and seen < 5:
+            owner = self.modules.get(head)
+            if owner is not None:
+                suffix = dotted[len(head) + 1:]
+                first, _, remainder = suffix.partition(".")
+                if not remainder and first in owner.classes:
+                    return owner.classes[first]
+                target = owner.imports.get(first)
+                if target is None:
+                    return None
+                dotted = target + ("." + remainder if remainder else "")
+                head, _, tail = dotted.rpartition(".")
+                seen += 1
+                continue
+            head, _, _ = head.rpartition(".")
+        return None

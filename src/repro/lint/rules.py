@@ -35,6 +35,10 @@ Rule summary (full prose in ``docs/static_analysis.md``):
   discards every completed chunk), as is submitting a lambda or
   nested function to a process pool (workers resolve callables by
   import, so only module-level functions survive pickling).
+
+The interprocedural rules REP007 (determinism taint) and REP008 (spec
+payload safety) live in :mod:`repro.lint.interproc`, on top of the
+project model in :mod:`repro.lint.project`.
 """
 
 from __future__ import annotations
@@ -51,6 +55,7 @@ from repro.lint.findings import Finding
 __all__ = [
     "ALL_RULES",
     "FileContext",
+    "RULE_SUMMARIES",
     "RuleConfig",
     "check_rep001",
     "check_rep002",
@@ -61,7 +66,39 @@ __all__ = [
     "paper_references",
 ]
 
-ALL_RULES = ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006")
+ALL_RULES = (
+    "REP001",
+    "REP002",
+    "REP003",
+    "REP004",
+    "REP005",
+    "REP006",
+    "REP007",
+    "REP008",
+)
+
+#: One-line summaries keyed by rule id — rendered into SARIF rule
+#: metadata and the ``--help`` text; full prose in
+#: ``docs/static_analysis.md``.
+RULE_SUMMARIES = {
+    "REP000": "file could not be read or parsed",
+    "REP001": "no global-RNG usage: randomness must flow through an "
+              "injected, seeded generator",
+    "REP002": "registry completeness: every concrete protocol/adversary "
+              "is registered and documented",
+    "REP003": "adversary-knowledge boundary: no reading foreign '.rng' "
+              "or private state, directly or through helpers",
+    "REP004": "paper-reference hygiene: cited lemmas/theorems must "
+              "exist in PAPER.md",
+    "REP005": "no dead heavyweight imports (numpy/scipy/pandas/"
+              "matplotlib bound but never used)",
+    "REP006": "fail-stop-safe futures: guarded result collection, no "
+              "unpicklable callables submitted to process pools",
+    "REP007": "determinism taint: no nondeterministic value may reach "
+              "seeds, stream keys, or cache keys (interprocedural)",
+    "REP008": "spec payload safety: TrialSpec/ExecutionPlan-style "
+              "dataclasses stay frozen, hashable, picklable",
+}
 
 #: Top-level packages REP005 treats as heavyweight: importing one of
 #: these and never touching the binding costs worker-spawn time and
@@ -317,12 +354,75 @@ def check_rep001(ctx: FileContext, config: RuleConfig) -> List[Finding]:
 # ----------------------------------------------------------------------
 
 
+def _type_checking_imports(tree: ast.AST) -> Set[ast.stmt]:
+    """Import statements nested under ``if TYPE_CHECKING:`` blocks.
+
+    Those imports never execute at runtime, so a "dead" heavyweight
+    import there costs nothing — it exists purely for annotations and
+    must not be flagged by REP005.
+    """
+    guarded: Set[ast.stmt] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.If):
+            continue
+        test = node.test
+        name = (
+            test.id
+            if isinstance(test, ast.Name)
+            else test.attr
+            if isinstance(test, ast.Attribute)
+            else ""
+        )
+        if name != "TYPE_CHECKING":
+            continue
+        for sub in ast.walk(node):
+            if isinstance(sub, (ast.Import, ast.ImportFrom)):
+                guarded.add(sub)
+    return guarded
+
+
+_IDENTIFIER_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+
+def _string_annotation_names(tree: ast.AST) -> Set[str]:
+    """Identifiers referenced inside *string* annotations.
+
+    Under ``from __future__ import annotations`` (or explicit forward
+    references) an annotation like ``"np.ndarray"`` is a plain string
+    constant; the names inside it are real uses of the imported
+    bindings and must count for REP005's liveness check.
+    """
+    annotations: List[ast.expr] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.AnnAssign):
+            annotations.append(node.annotation)
+        elif isinstance(node, ast.arg) and node.annotation is not None:
+            annotations.append(node.annotation)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.returns is not None:
+                annotations.append(node.returns)
+    names: Set[str] = set()
+    for ann in annotations:
+        for sub in ast.walk(ann):
+            if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+                names.update(_IDENTIFIER_RE.findall(sub.value))
+    return names
+
+
 def check_rep005(ctx: FileContext, config: RuleConfig) -> List[Finding]:
     """Flag numpy/scipy/pandas/matplotlib imports whose binding is
-    never referenced anywhere else in the module."""
+    never referenced anywhere else in the module.
+
+    Type-only usage counts as use: imports guarded by
+    ``if TYPE_CHECKING:`` are exempt entirely (they never execute),
+    and names inside string annotations are collected as references.
+    """
+    type_only = _type_checking_imports(ctx.tree)
     # local binding name -> (import node, dotted origin for the message)
     heavy: Dict[str, Tuple[ast.stmt, str]] = {}
     for node in ast.walk(ctx.tree):
+        if node in type_only:
+            continue
         if isinstance(node, ast.Import):
             for alias in node.names:
                 top = alias.name.split(".")[0]
@@ -350,6 +450,7 @@ def check_rep005(ctx: FileContext, config: RuleConfig) -> List[Finding]:
     used = {
         node.id for node in ast.walk(ctx.tree) if isinstance(node, ast.Name)
     }
+    used |= _string_annotation_names(ctx.tree)
     # A re-export counts as a use: ``__all__ = ["np"]`` intentionally
     # publishes the binding even if the module body never touches it.
     exported = {

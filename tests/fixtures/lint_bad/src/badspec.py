@@ -1,0 +1,17 @@
+"""REP008 fixture: a spec payload dataclass that cannot cross workers.
+
+``RetrySpec`` matches the payload naming contract (``*Spec``) but is
+mutable, carries an unpicklable lambda default, and annotates a field
+with a mutable container type — all three things REP008 exists to
+reject before they hit the process pool.
+"""
+
+from dataclasses import dataclass, field
+from typing import Callable, List
+
+
+@dataclass
+class RetrySpec:
+    attempts: int = 3
+    backoff: Callable[[int], float] = lambda k: 0.1 * k
+    history: List[int] = field(default_factory=list)

@@ -1,0 +1,25 @@
+"""REP007 fixture: wall-clock taint reaching a seed sink via two hops.
+
+``pick_seed`` calls ``time.time()`` (a nondeterminism source) but is
+itself never flagged by REP001 — no RNG involved.  ``build_seed``
+forwards the tainted value, and ``schedule`` finally hands it to
+``TrialBatch(base_seed=...)``, a deterministic-core sink.  Only an
+interprocedural pass can connect the chain.
+"""
+
+import time
+
+from repro.harness.exec import TrialBatch, TrialSpec
+
+
+def pick_seed() -> int:
+    return int(time.time())
+
+
+def build_seed() -> int:
+    return pick_seed() + 1
+
+
+def schedule(spec: TrialSpec) -> TrialBatch:
+    seed = build_seed()
+    return TrialBatch(spec=spec, trials=4, base_seed=seed)

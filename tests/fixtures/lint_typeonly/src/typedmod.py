@@ -1,0 +1,23 @@
+"""REP005 regression fixture: type-only heavyweight imports are *used*.
+
+Both numpy bindings here exist purely for the type checker — one under
+``if TYPE_CHECKING:`` and referenced from a string annotation, one a
+plain import referenced only from real annotations.  Neither may be
+flagged as a dead import: deleting them would break ``mypy``, and the
+module imports no numpy at runtime in the TYPE_CHECKING case.
+"""
+
+from typing import TYPE_CHECKING, Optional
+
+import numpy.typing as npt
+
+if TYPE_CHECKING:
+    import numpy as np
+
+
+def as_array(values: "npt.ArrayLike") -> "np.ndarray":
+    raise NotImplementedError
+
+
+def maybe(values: Optional["np.ndarray"]) -> int:
+    return 0 if values is None else 1

@@ -1,0 +1,425 @@
+"""Tests for the project-level analysis passes (``repro.lint``).
+
+Covers the whole-tree model (module/symbol tables, import resolution,
+call graph) and the interprocedural rules built on it: REP007
+determinism taint, REP008 spec payload safety, and the helper-chain
+upgrade of REP003.
+"""
+
+import ast
+import textwrap
+from pathlib import Path
+
+from repro.lint import lint_paths
+from repro.lint.callgraph import CallGraph
+from repro.lint.interproc import (
+    check_rep003_interproc,
+    check_rep007,
+    check_rep008,
+)
+from repro.lint.project import ProjectModel, module_name
+from repro.lint.rules import FileContext, RuleConfig
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURE_ROOT = REPO_ROOT / "tests" / "fixtures" / "lint_bad"
+
+
+def _ctx(source, path):
+    source = textwrap.dedent(source)
+    return FileContext(
+        path=Path(path),
+        display_path=path,
+        source=source,
+        tree=ast.parse(source),
+    )
+
+
+def _project(*files):
+    return ProjectModel.build([_ctx(src, path) for path, src in files])
+
+
+def _rep007(*files):
+    return check_rep007(_project(*files), RuleConfig())
+
+
+# ----------------------------------------------------------------------
+# Project model
+# ----------------------------------------------------------------------
+
+
+class TestProjectModel:
+    def test_module_name_anchors_at_last_src(self):
+        assert module_name(Path("src/repro/sim/engine.py")) == (
+            "repro.sim.engine"
+        )
+        assert module_name(
+            Path("src/repro/harness/exec/__init__.py")
+        ) == "repro.harness.exec"
+        assert module_name(
+            Path("tests/fixtures/lint_bad/src/badtaint.py")
+        ) == "badtaint"
+        assert module_name(Path("scripts/tool.py")) == "tool"
+
+    def test_functions_and_methods_indexed_by_qualname(self):
+        project = _project(
+            (
+                "src/pkg/mod.py",
+                """
+                def helper():
+                    return 1
+
+                class Engine:
+                    def step(self):
+                        return helper()
+                """,
+            )
+        )
+        assert project.lookup_function("pkg.mod.helper") is not None
+        assert project.lookup_function("pkg.mod.Engine.step") is not None
+        assert project.lookup_class("pkg.mod.Engine") is not None
+
+    def test_resolution_follows_import_alias(self):
+        project = _project(
+            ("src/pkg/util.py", "def tick():\n    return 0\n"),
+            (
+                "src/pkg/app.py",
+                """
+                from pkg.util import tick as clock
+
+                def run():
+                    return clock()
+                """,
+            ),
+        )
+        graph = CallGraph.build(project)
+        callees = graph.callees("pkg.app.run")
+        assert {site.callee for site in callees} == {"pkg.util.tick"}
+
+    def test_lookup_follows_package_reexport(self):
+        # ``from repro.harness.exec import TrialSpec`` must resolve to
+        # the defining submodule through the package __init__.
+        project = ProjectModel.build(
+            [
+                _ctx(
+                    (REPO_ROOT / "src/repro/harness/exec/__init__.py")
+                    .read_text(encoding="utf-8"),
+                    "src/repro/harness/exec/__init__.py",
+                ),
+                _ctx(
+                    (REPO_ROOT / "src/repro/harness/exec/spec.py")
+                    .read_text(encoding="utf-8"),
+                    "src/repro/harness/exec/spec.py",
+                ),
+            ]
+        )
+        assert project.lookup_class("repro.harness.exec.TrialSpec") is not None
+        assert (
+            project.lookup_function("repro.harness.exec.derive_trial_seed")
+            is not None
+        )
+
+
+class TestCallGraph:
+    def test_transitive_closure_records_first_hop(self):
+        project = _project(
+            (
+                "src/pkg/chain.py",
+                """
+                def c():
+                    return 1
+
+                def b():
+                    return c()
+
+                def a():
+                    return b()
+                """,
+            )
+        )
+        graph = CallGraph.build(project)
+        reach = graph.transitive_callees("pkg.chain.a")
+        assert set(reach) >= {"pkg.chain.b", "pkg.chain.c"}
+        # Both reachable functions report the a->b call as first hop.
+        assert reach["pkg.chain.c"].callee == "pkg.chain.b"
+
+
+# ----------------------------------------------------------------------
+# REP007 — interprocedural determinism taint
+# ----------------------------------------------------------------------
+
+
+class TestRep007:
+    def test_two_hop_wall_clock_chain_flagged(self):
+        findings = _rep007(
+            (
+                "src/sched.py",
+                """
+                import time
+
+                from repro.harness.exec import TrialBatch
+
+                def pick_seed():
+                    return int(time.time())
+
+                def build_seed():
+                    return pick_seed() + 1
+
+                def schedule(spec):
+                    return TrialBatch(
+                        spec=spec, trials=4, base_seed=build_seed()
+                    )
+                """,
+            )
+        )
+        assert [f.rule for f in findings] == ["REP007"]
+        # The finding names the full taint chain back to the source.
+        assert "time.time()" in findings[0].message
+        assert "base_seed" in findings[0].message
+
+    def test_fixture_passes_per_file_rules_but_fails_rep007(self):
+        fixture = FIXTURE_ROOT / "src" / "badtaint.py"
+        old = lint_paths(
+            [str(fixture)], select=["REP001", "REP003", "REP005", "REP006"]
+        )
+        assert old.ok, "fixture must be invisible to the per-file rules"
+        new = lint_paths([str(FIXTURE_ROOT)], select=["REP007"])
+        assert [f.rule for f in new.findings] == ["REP007"]
+        assert new.findings[0].file.endswith("badtaint.py")
+
+    def test_pid_reaching_seed_derivation_flagged(self):
+        findings = _rep007(
+            (
+                "src/seeds.py",
+                """
+                import os
+
+                from repro.harness.exec import derive_trial_seed
+
+                def seed():
+                    return derive_trial_seed(os.getpid(), "scope", 0)
+                """,
+            )
+        )
+        assert [f.rule for f in findings] == ["REP007"]
+
+    def test_set_iteration_order_taint_flagged(self):
+        findings = _rep007(
+            (
+                "src/keys.py",
+                """
+                from repro.harness.exec import derive_trial_seed
+
+                def key(items):
+                    order = list(set(items))
+                    return derive_trial_seed(1, str(order), 0)
+                """,
+            )
+        )
+        assert [f.rule for f in findings] == ["REP007"]
+        assert "set" in findings[0].message
+
+    def test_sorted_launders_order_taint(self):
+        findings = _rep007(
+            (
+                "src/keys.py",
+                """
+                from repro.harness.exec import derive_trial_seed
+
+                def key(items):
+                    order = sorted(set(items))
+                    return derive_trial_seed(1, str(order), 0)
+                """,
+            )
+        )
+        assert findings == []
+
+    def test_seeded_rng_is_not_a_source(self):
+        findings = _rep007(
+            (
+                "src/clean.py",
+                """
+                import random
+
+                from repro.harness.exec import derive_trial_seed
+
+                def seed(master):
+                    rng = random.Random(master)
+                    return derive_trial_seed(master, "scope", 0)
+                """,
+            )
+        )
+        assert findings == []
+
+    def test_src_tree_is_taint_free(self):
+        report = lint_paths([str(REPO_ROOT / "src")], select=["REP007"])
+        assert report.ok, "\n".join(f.render() for f in report.findings)
+
+
+# ----------------------------------------------------------------------
+# REP008 — spec payload safety
+# ----------------------------------------------------------------------
+
+
+class TestRep008:
+    def _findings(self, source, path="src/payload.py"):
+        return check_rep008(_project((path, source)), RuleConfig())
+
+    def test_unfrozen_payload_flagged(self):
+        findings = self._findings(
+            """
+            from dataclasses import dataclass
+
+            @dataclass
+            class RunPlan:
+                trials: int = 1
+            """
+        )
+        assert [f.symbol for f in findings] == ["RunPlan"]
+        assert "frozen" in findings[0].message
+
+    def test_lambda_and_callable_field_flagged(self):
+        findings = self._findings(
+            """
+            from dataclasses import dataclass
+            from typing import Callable
+
+            @dataclass(frozen=True)
+            class HookSpec:
+                hook: Callable[[int], int] = lambda v: v
+            """
+        )
+        symbols = {f.symbol for f in findings}
+        assert symbols == {"HookSpec.hook"}
+        messages = " ".join(f.message for f in findings)
+        assert "Callable" in messages
+        assert "lambda" in messages
+
+    def test_mutable_annotation_and_factory_flagged(self):
+        findings = self._findings(
+            """
+            from dataclasses import dataclass, field
+            from typing import List
+
+            @dataclass(frozen=True)
+            class HistorySpec:
+                history: List[int] = field(default_factory=list)
+            """
+        )
+        assert len(findings) == 2
+        assert all(f.symbol == "HistorySpec.history" for f in findings)
+
+    def test_clean_frozen_payload_passes(self):
+        findings = self._findings(
+            """
+            from dataclasses import dataclass
+            from typing import Optional, Tuple
+
+            @dataclass(frozen=True)
+            class GoodSpec:
+                n: int
+                label: Optional[str] = None
+                params: Tuple[int, ...] = ()
+            """
+        )
+        assert findings == []
+
+    def test_non_payload_names_exempt(self):
+        # Sweep holds Callables by design; the naming contract scopes
+        # the rule to executor/cache payloads only.
+        findings = self._findings(
+            """
+            from dataclasses import dataclass
+            from typing import Callable
+
+            @dataclass
+            class Sweep:
+                build: Callable[[int], int] = lambda v: v
+            """
+        )
+        assert findings == []
+
+    def test_fixture_flagged_via_runner(self):
+        report = lint_paths([str(FIXTURE_ROOT)], select=["REP008"])
+        assert {f.rule for f in report.findings} == {"REP008"}
+        assert all(
+            f.file.endswith("badspec.py") for f in report.findings
+        )
+
+    def test_real_spec_classes_pass(self):
+        report = lint_paths([str(REPO_ROOT / "src")], select=["REP008"])
+        assert report.ok, "\n".join(f.render() for f in report.findings)
+
+
+# ----------------------------------------------------------------------
+# REP003 — interprocedural upgrade
+# ----------------------------------------------------------------------
+
+
+class TestRep003Interproc:
+    def _findings(self, *files):
+        project = _project(*files)
+        graph = CallGraph.build(project)
+        return check_rep003_interproc(project, graph, RuleConfig())
+
+    def test_adversary_reaching_rng_through_helper_flagged(self):
+        findings = self._findings(
+            (
+                "src/repro/sim/helpers.py",
+                """
+                def peek(view):
+                    return view.states[0].rng.random()
+                """,
+            ),
+            (
+                "src/repro/adversary/sneaky.py",
+                """
+                from repro.sim.helpers import peek
+
+                class Sneaky:
+                    def on_round(self, view):
+                        return peek(view)
+                """,
+            ),
+        )
+        assert [f.rule for f in findings] == ["REP003"]
+        assert findings[0].file == "src/repro/adversary/sneaky.py"
+        assert "helper chain" in findings[0].message
+
+    def test_engine_internal_rng_use_not_flagged(self):
+        # The same helper is fine when only engine code calls it.
+        findings = self._findings(
+            (
+                "src/repro/sim/helpers.py",
+                """
+                def peek(view):
+                    return view.states[0].rng.random()
+
+                def engine_step(view):
+                    return peek(view)
+                """,
+            ),
+        )
+        assert findings == []
+
+    def test_adversary_using_own_rng_helper_clean(self):
+        findings = self._findings(
+            (
+                "src/repro/adversary/fair.py",
+                """
+                class Fair:
+                    def __init__(self, rng):
+                        self.rng = rng
+
+                    def pick(self):
+                        return self.rng.random()
+
+                    def on_round(self, view):
+                        return self.pick()
+                """,
+            ),
+        )
+        assert findings == []
+
+    def test_src_tree_clean_interprocedurally(self):
+        report = lint_paths([str(REPO_ROOT / "src")], select=["REP003"])
+        assert report.ok, "\n".join(f.render() for f in report.findings)

@@ -85,10 +85,16 @@ ALL_MODULES = [
     "repro.harness.sweep",
     "repro.harness.workloads",
     "repro.lint",
+    "repro.lint.baseline",
+    "repro.lint.cache",
+    "repro.lint.callgraph",
     "repro.lint.findings",
+    "repro.lint.interproc",
+    "repro.lint.project",
     "repro.lint.rules",
     "repro.lint.runner",
     "repro.lint.sanitizer",
+    "repro.lint.sarif",
 ]
 
 
