@@ -3,7 +3,7 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: lint lint-full replint ruff mypy test bench bench-pytest check chaos experiments-quick
+.PHONY: lint lint-full replint ruff mypy test bench bench-pytest check chaos experiments-quick faults
 
 # Repo-specific static analysis (REP001-REP008, including the
 # interprocedural determinism-taint and spec-payload rules).
@@ -58,6 +58,15 @@ bench-pytest:
 # two headline experiments.  Cached under .repro-cache/ (resumable).
 experiments-quick:
 	python -m repro.harness.experiments --only E5,E6 --workers 2
+
+# Fault-model gates: the pluggable-fault-layer unit suite, the
+# exact-seed differential proving fault_model="crash" is byte-identical
+# to the pre-fault-layer engines, and the E14 crash-vs-omission-vs-late
+# comparison at quick scale (docs/model.md).  CI runs this as the
+# fault-model-smoke job.
+faults:
+	python -m pytest tests/test_fault_models.py tests/test_fault_differential.py -q
+	python -m repro.harness.experiments --only E14 --workers 2
 
 # Chaos gates: killed workers, stalled chunks, corrupted cache docs,
 # SIGKILLed mid-batch runs — all byte-identical to fault-free serial

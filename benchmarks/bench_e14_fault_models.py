@@ -1,0 +1,32 @@
+"""E14 (Thm 1 scope): the forced-rounds curve is specific to fail-stop.
+
+Claim: the tally attack's stall collapses when the fault model
+changes — send-omission removes the attrition the stability-bleed
+mode needs, and an e-late adversary loses the full-information coin
+view Lemma 3.1 requires — so Theorem 1's crash hypothesis is
+load-bearing.
+"""
+
+from conftest import run_experiment
+
+from repro.harness.experiments import experiment_e14_fault_models
+
+
+def test_e14_fault_models(benchmark):
+    table = run_experiment(benchmark, experiment_e14_fault_models)
+    rounds = {
+        (model, n): mean
+        for model, n, mean in zip(
+            table.column("fault model"),
+            table.column("n"),
+            table.column("mean rounds"),
+        )
+    }
+    for n in sorted({n for _, n in rounds}):
+        # Crash must dominate both weaker regimes by a wide margin at
+        # every n on the shared grid (same budget t = n, same seeds).
+        assert rounds[("crash", n)] > 2 * rounds[("send-omission", n)]
+        assert rounds[("crash", n)] > 2 * rounds[("late", n)]
+        # The e-late adversary cannot run the coin-window attack at
+        # all: SynRan should decide about as fast as under benign.
+        assert rounds[("late", n)] < 10

@@ -28,7 +28,7 @@ import argparse
 import os
 import random
 import sys
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro._math import (
     adversary_round_budget,
@@ -53,7 +53,8 @@ from repro.coinflip.library_games import (
     ThresholdGame,
     TribesGame,
 )
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, ReproError
+from repro.faultmodels import available_fault_models
 from repro.harness.exec import (
     ENGINE_KINDS,
     ENGINE_REFERENCE,
@@ -68,6 +69,7 @@ from repro.harness.exec import (
     build_fast_adversary,
     build_protocol,
     make_executor,
+    spec_params,
 )
 from repro.harness.report import Table, render_table
 from repro.harness.resilience import CHAOS_ENV, FaultPlan, RetryPolicy
@@ -125,6 +127,25 @@ def _resilience_note(executor: Executor) -> Optional[str]:
     )
 
 
+def _fault_model_params(
+    args: argparse.Namespace,
+) -> Tuple[Tuple[str, object], ...]:
+    """Lower ``--fault-lag`` into canonical spec parameters.
+
+    Only the ``late`` model takes a lag; passing ``--fault-lag`` with
+    any other model would silently change the spec hash without
+    changing behaviour, so it is rejected instead.
+    """
+    if args.fault_lag is None:
+        return ()
+    if args.fault_model != "late":
+        raise ConfigurationError(
+            "--fault-lag only applies to --fault-model late "
+            f"(got {args.fault_model!r})"
+        )
+    return spec_params(lag=args.fault_lag)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     n, t = args.n, args.t if args.t is not None else args.n
     spec = TrialSpec(
@@ -134,6 +155,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         t=t,
         inputs=args.inputs,
         engine=args.engine,
+        fault_model=args.fault_model,
+        fault_model_params=_fault_model_params(args),
     )
     # Fail fast on bad (protocol, n, t) combinations before any worker
     # is spawned (e.g. benor requires t < n/2), and on adversaries the
@@ -153,11 +176,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
             )
         )
     summary = stats.rounds_summary()
+    fault = (
+        "" if spec.fault_model == "crash"
+        else f", fault={spec.fault_model}"
+    )
     table = Table(
         title=(
             f"run: {args.protocol} vs {args.adversary} "
             f"(n={n}, t={t}, inputs={args.inputs}, "
-            f"engine={args.engine}, trials={args.trials})"
+            f"engine={args.engine}{fault}, trials={args.trials})"
         ),
         columns=["metric", "value"],
     )
@@ -294,6 +321,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         trials=args.trials,
         base_seed=args.seed,
         inputs=args.inputs,
+        fault_model=args.fault_model,
+        fault_model_params=_fault_model_params(args),
     )
     with _make_executor(args, cache_on=not args.no_cache) as executor:
         results = run_sweep(sweep, executor=executor)
@@ -358,6 +387,25 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 # ----------------------------------------------------------------------
 
 
+def _add_fault_model_flags(sub_parser: argparse.ArgumentParser) -> None:
+    """The fault-semantics knobs shared by run/sweep."""
+    sub_parser.add_argument(
+        "--fault-model", choices=available_fault_models(),
+        default="crash",
+        help=(
+            "fault semantics (default: crash, the paper's fail-stop "
+            "model; see docs/model.md)"
+        ),
+    )
+    sub_parser.add_argument(
+        "--fault-lag", type=int, default=None, metavar="EPS",
+        help=(
+            "staleness in rounds for --fault-model late "
+            "(default: the model's default of 1)"
+        ),
+    )
+
+
 def _add_resilience_flags(sub_parser: argparse.ArgumentParser) -> None:
     """The fail-stop-tolerance knobs shared by run/sweep/experiments."""
     sub_parser.add_argument(
@@ -420,6 +468,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="reuse/store results in the on-disk cache")
     run.add_argument("--cache-dir", default=None,
                      help="result-cache directory (default: .repro-cache)")
+    _add_fault_model_flags(run)
     _add_resilience_flags(run)
     run.set_defaults(func=_cmd_run)
 
@@ -471,6 +520,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="recompute every cell (cache is on by default)")
     sweep.add_argument("--cache-dir", default=None,
                        help="result-cache directory (default: .repro-cache)")
+    _add_fault_model_flags(sweep)
     _add_resilience_flags(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 

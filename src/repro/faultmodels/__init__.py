@@ -1,0 +1,54 @@
+"""Concrete fault models: pluggable failure regimes for the engines.
+
+The paper's lower bound lives in the synchronous *fail-stop* model, but
+the related-work directions the roadmap tracks change the failure
+regime itself: adaptive **omission** faults (Hajiaghayi–Kowalski–
+Olkowski, arXiv:2405.04762) let a faulty process drop messages without
+dying, and the **late** adversary (Robinson–Scheideler–Setzer,
+arXiv:1805.00774) must commit its failures from a view of the coins
+that lags ε rounds behind.  This package implements those regimes as
+:class:`~repro.sim.model.FaultModel` plug-ins:
+
+* :class:`~repro.faultmodels.crash.CrashFaultModel` (``crash``) — the
+  paper's fail-stop semantics, bit-for-bit what the engines did before
+  the fault layer existed.
+* :class:`~repro.faultmodels.omission.SendOmissionFaultModel`
+  (``send-omission``) — faulty senders' messages are dropped per
+  recipient; nobody dies.
+* :class:`~repro.faultmodels.omission.ReceiveOmissionFaultModel`
+  (``receive-omission``) — faulty receivers miss chosen senders;
+  reference engine only (per-receiver inboxes cannot collapse to
+  uniform counts).
+* :class:`~repro.faultmodels.late.LateFaultModel` (``late``) — crash
+  semantics, but the adversary conditions on a view from ``lag``
+  rounds ago (fresh coins hidden).
+
+Models are resolved by name through
+:func:`~repro.faultmodels.registry.make_fault_model`, mirroring the
+protocol and adversary registries; the REP002 lint rule enforces that
+every concrete model here is registered and documented.
+"""
+
+from repro.faultmodels.crash import CrashFaultModel
+from repro.faultmodels.late import LateFaultModel
+from repro.faultmodels.omission import (
+    ReceiveOmissionFaultModel,
+    SendOmissionFaultModel,
+)
+from repro.faultmodels.registry import (
+    available_fault_models,
+    make_fault_model,
+    register_fault_model,
+    resolve_fault_model,
+)
+
+__all__ = [
+    "CrashFaultModel",
+    "LateFaultModel",
+    "ReceiveOmissionFaultModel",
+    "SendOmissionFaultModel",
+    "available_fault_models",
+    "make_fault_model",
+    "register_fault_model",
+    "resolve_fault_model",
+]

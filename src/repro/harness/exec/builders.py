@@ -34,6 +34,7 @@ from repro.adversary.random_crash import RandomCrashAdversary
 from repro.adversary.registry import make_adversary
 from repro.adversary.static import StaticAdversary
 from repro.errors import ConfigurationError
+from repro.faultmodels.registry import make_fault_model
 from repro.harness.exec.spec import ENGINE_BATCH, ENGINE_FAST, TrialSpec
 from repro.harness.workloads import (
     half_split,
@@ -70,6 +71,7 @@ __all__ = [
     "build_adversary",
     "build_batch_adversary",
     "build_fast_adversary",
+    "build_fault_model",
     "build_inputs",
     "build_protocol",
 ]
@@ -296,6 +298,20 @@ def build_batch_adversary(spec: TrialSpec) -> BatchFastAdversary:
             f"implementation; available: {available_batch_adversaries()}"
         ) from None
     return factory(spec.t, _params(spec.adversary_params))
+
+
+def build_fault_model(spec: TrialSpec):
+    """A fresh fault model for ``spec``.
+
+    Resolves ``spec.fault_model`` (plus primitive parameters) through
+    the :mod:`repro.faultmodels` registry; the default ``"crash"``
+    reproduces the pre-fault-layer semantics.  Models are stateful
+    across rounds (omission charging, late snapshots), so callers must
+    build one per engine instance, never share one across trials.
+    """
+    return make_fault_model(
+        spec.fault_model, _params(spec.fault_model_params)
+    )
 
 
 def build_inputs(spec: TrialSpec, rng: random.Random) -> Sequence[int]:

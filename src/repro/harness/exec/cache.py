@@ -304,6 +304,11 @@ def _spec_doc(batch: TrialBatch) -> dict:
     freshly-built spec compares equal to one read back from disk.
     """
     raw = asdict(batch.spec)
-    for key in ("protocol_params", "adversary_params", "inputs_params"):
+    for key in (
+        "protocol_params",
+        "adversary_params",
+        "inputs_params",
+        "fault_model_params",
+    ):
         raw[key] = [list(pair) for pair in raw[key]]
     return raw

@@ -122,6 +122,15 @@ class TrialSpec:
             ``"fast"``, executed whole-chunk per NumPy call).
         strict_termination: Raise on horizon instead of recording a
             timeout.
+        fault_model: Registered fault-model name (see
+            :func:`repro.faultmodels.make_fault_model`); the default
+            ``"crash"`` reproduces the pre-fault-layer fail-stop
+            semantics and is excluded from the content hash so
+            existing cache keys and seed streams are untouched.
+        fault_model_params: Fault-model constructor parameters as
+            canonical ``(key, value)`` tuples (e.g.
+            ``spec_params(lag=2)`` for ``late``); the empty default is
+            likewise excluded from the content hash.
     """
 
     protocol: str
@@ -135,6 +144,8 @@ class TrialSpec:
     max_rounds: Optional[int] = None
     engine: str = ENGINE_REFERENCE
     strict_termination: bool = False
+    fault_model: str = "crash"
+    fault_model_params: Tuple[Tuple[str, object], ...] = ()
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINE_KINDS:
@@ -151,7 +162,12 @@ class TrialSpec:
             raise ConfigurationError(
                 f"max_rounds must be >= 1, got {self.max_rounds}"
             )
-        for name in ("protocol_params", "adversary_params", "inputs_params"):
+        for name in (
+            "protocol_params",
+            "adversary_params",
+            "inputs_params",
+            "fault_model_params",
+        ):
             value = getattr(self, name)
             if not isinstance(value, tuple):
                 raise ConfigurationError(
@@ -165,8 +181,19 @@ class TrialSpec:
         Used as the seed-derivation scope and as a cache-key
         component: any change to any field changes the hash, so cached
         results can never be served for a different configuration.
+
+        Fields still at the value they had before they existed are
+        dropped from the hashed document (``fault_model`` at
+        ``"crash"``, ``fault_model_params`` at ``()``): specs written
+        before the fault layer keep their exact hashes, seed streams,
+        and on-disk cache entries.
         """
-        canonical = json.dumps(asdict(self), sort_keys=True, default=str)
+        doc = asdict(self)
+        if doc.get("fault_model") == "crash":
+            doc.pop("fault_model")
+        if doc.get("fault_model_params") == ():
+            doc.pop("fault_model_params")
+        canonical = json.dumps(doc, sort_keys=True, default=str)
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     def trial_seed(self, base_seed: int, trial_index: int) -> int:

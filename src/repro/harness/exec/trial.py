@@ -24,6 +24,7 @@ from repro.harness.exec.builders import (
     build_adversary,
     build_batch_adversary,
     build_fast_adversary,
+    build_fault_model,
     build_inputs,
     build_protocol,
 )
@@ -159,6 +160,7 @@ def execute_reference_trial(
     inputs: Sequence[int],
     max_rounds: Optional[int] = None,
     strict_termination: bool = False,
+    fault_model: object = None,
 ) -> TrialOutcome:
     """Run one reference-engine trial on fresh live objects."""
     engine = Engine(
@@ -169,6 +171,7 @@ def execute_reference_trial(
         max_rounds=max_rounds,
         strict_termination=strict_termination,
         record_payloads=False,
+        fault_model=fault_model,
     )
     result = engine.run(inputs)
     verdict = verify_execution(result)
@@ -199,6 +202,7 @@ def execute_fast_trial(
     inputs: Sequence[int],
     max_rounds: Optional[int] = None,
     strict_termination: bool = False,
+    fault_model: object = None,
 ) -> TrialOutcome:
     """Run one fast-engine trial on fresh live objects."""
     engine = FastEngine(
@@ -208,6 +212,7 @@ def execute_fast_trial(
         seed=seed,
         max_rounds=max_rounds,
         strict_termination=strict_termination,
+        fault_model=fault_model,
     )
     result = engine.run(inputs)
     return TrialOutcome(
@@ -265,6 +270,7 @@ def run_spec_batch(
         spec.n,
         max_rounds=spec.max_rounds,
         strict_termination=spec.strict_termination,
+        fault_model=build_fault_model(spec),
     )
     result = engine.run(inputs, seeds)
     outcomes = []
@@ -313,6 +319,7 @@ def run_spec_trial(
             inputs=inputs,
             max_rounds=spec.max_rounds,
             strict_termination=spec.strict_termination,
+            fault_model=build_fault_model(spec),
         )
     probe = build_protocol(spec)
     adversary = build_adversary(spec, probe)
@@ -325,4 +332,5 @@ def run_spec_trial(
         inputs=inputs,
         max_rounds=spec.max_rounds,
         strict_termination=spec.strict_termination,
+        fault_model=build_fault_model(spec),
     )

@@ -68,6 +68,12 @@ class Sweep:
             still accepted as aliases for their named kinds.
         max_rounds_of: Horizon as a function of ``n`` (default: the
             engine default).
+        fault_model: Registered fault-model name shared by every cell
+            (default ``"crash"``, the paper's fail-stop semantics —
+            cell specs and their cache keys are then identical to
+            pre-fault-layer sweeps).
+        fault_model_params: Fault-model parameters as canonical
+            ``(key, value)`` tuples (``spec_params(lag=2)``).
     """
 
     protocols: Sequence[str]
@@ -78,6 +84,8 @@ class Sweep:
     base_seed: int = 0
     inputs: Union[str, Callable[[int], Sequence[int]]] = "worst"
     max_rounds_of: Optional[Callable[[int], int]] = None
+    fault_model: str = "crash"
+    fault_model_params: Tuple[Tuple[str, object], ...] = ()
 
     def cells(self) -> List[Tuple[str, str, int]]:
         """All (protocol, adversary, n) combinations, in order."""
@@ -166,6 +174,8 @@ def sweep_plan(sweep: Sweep) -> ExecutionPlan:
             max_rounds=(
                 sweep.max_rounds_of(n) if sweep.max_rounds_of else None
             ),
+            fault_model=sweep.fault_model,
+            fault_model_params=sweep.fault_model_params,
         )
         batches.append(
             TrialBatch(

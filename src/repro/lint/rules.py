@@ -13,10 +13,10 @@ Rule summary (full prose in ``docs/static_analysis.md``):
   unseeded ``random.Random()`` / ``default_rng()``, ``SystemRandom``,
   and ``np.random.<fn>`` global-state access are all flagged.
 * **REP002** — registry completeness.  Every concrete
-  ``Protocol``/``Adversary`` subclass under
-  ``src/repro/{protocols,adversary}/`` must be referenced by its
-  package's ``registry.py``, and every registry name must appear in
-  ``docs/``.
+  ``Protocol``/``Adversary``/``FaultModel`` subclass under
+  ``src/repro/{protocols,adversary,faultmodels}/`` must be referenced
+  by its package's ``registry.py``, and every registry name must
+  appear in ``docs/``.
 * **REP003** — adversary-knowledge boundary.  Adversary modules may
   only touch the public view/API of ``sim.model``: accessing ``.rng``
   on anything but ``self`` (a process's *future* coins) or a
@@ -84,8 +84,8 @@ RULE_SUMMARIES = {
     "REP000": "file could not be read or parsed",
     "REP001": "no global-RNG usage: randomness must flow through an "
               "injected, seeded generator",
-    "REP002": "registry completeness: every concrete protocol/adversary "
-              "is registered and documented",
+    "REP002": "registry completeness: every concrete protocol/adversary/"
+              "fault model is registered and documented",
     "REP003": "adversary-knowledge boundary: no reading foreign '.rng' "
               "or private state, directly or through helpers",
     "REP004": "paper-reference hygiene: cited lemmas/theorems must "
@@ -124,11 +124,14 @@ _NUMPY_SEEDABLE = frozenset(
 )
 
 #: Base classes whose concrete descendants REP002 requires registered.
-_REGISTRY_ROOTS = frozenset({"Adversary", "ConsensusProtocol", "Protocol"})
+_REGISTRY_ROOTS = frozenset(
+    {"Adversary", "ConsensusProtocol", "Protocol", "FaultModel"}
+)
 
 #: Packages REP002/REP003 apply to (matched against path segments).
 _ADVERSARY_DIR = "adversary"
 _PROTOCOL_DIR = "protocols"
+_FAULTMODEL_DIR = "faultmodels"
 
 _CITE_RE = re.compile(
     r"\b(Lemma|Theorem|Thm|Corollary|Cor)s?\b\.?[\s\-–]+"
@@ -185,7 +188,10 @@ class FileContext:
 
     @property
     def in_registry_package(self) -> bool:
-        return _ADVERSARY_DIR in self._parts or _PROTOCOL_DIR in self._parts
+        return any(
+            part in self._parts
+            for part in (_ADVERSARY_DIR, _PROTOCOL_DIR, _FAULTMODEL_DIR)
+        )
 
 
 def parse_file(path: Path, display_path: str) -> Optional[FileContext]:
@@ -886,7 +892,9 @@ def check_rep002(
     findings: List[Finding] = []
     packages: Dict[Path, List[FileContext]] = {}
     for ctx in contexts:
-        if ctx.path.parent.name in (_ADVERSARY_DIR, _PROTOCOL_DIR):
+        if ctx.path.parent.name in (
+            _ADVERSARY_DIR, _PROTOCOL_DIR, _FAULTMODEL_DIR
+        ):
             packages.setdefault(ctx.path.parent, []).append(ctx)
 
     docs_text = ""

@@ -24,6 +24,21 @@ Checks (each yields a structured :class:`SanitizerViolation`):
 * ``decision-irrevocability`` — a decided process never re-decides or
   changes value.
 
+The contract varies with the active fault model (``fault_model``
+constructor argument, mirroring :mod:`repro.faultmodels`):
+
+* ``crash`` / ``late`` — the full fail-stop contract above.  Under
+  ``late`` the extra ``view-lag`` check polices that the adversary's
+  served view is never fresher than ``round - lag`` allows.
+* ``send-omission`` / ``receive-omission`` — faulty processes may keep
+  speaking but are never obligated to; nobody dies.  ``unexpected-
+  crash`` fires if the engine reports any crash victim, ``total-budget``
+  counts *distinct* omission-faulty processes against ``t`` (the fast
+  engines report a per-round high-water mark instead), and
+  ``non-faulty-drop`` fires when a dropped message's faulty endpoint
+  (the sender for send-omission, the recipient for receive-omission)
+  was never charged as faulty.
+
 ``mode="raise"`` (default) raises :class:`SanitizerViolationError` on
 the first violation; ``mode="collect"`` accumulates them for the
 structured :meth:`report`.
@@ -69,7 +84,15 @@ class SimSanitizer:
             :meth:`lower_bound` sets the paper's Section-3 cap.
         mode: ``"raise"`` (fail fast) or ``"collect"`` (accumulate and
             let the caller inspect :attr:`violations` / :meth:`report`).
+        fault_model: Name of the active fault model; selects the
+            contract variant (see the module docstring).  Unknown names
+            get the fail-stop contract — custom registered models are
+            assumed crash-like unless they say otherwise.
+        lag: Declared adversary view lag (``late`` model); arms the
+            ``view-lag`` check.
     """
+
+    _OMISSION_MODELS = frozenset({"send-omission", "receive-omission"})
 
     def __init__(
         self,
@@ -78,6 +101,8 @@ class SimSanitizer:
         *,
         per_round_budget: Optional[int] = None,
         mode: str = "raise",
+        fault_model: str = "crash",
+        lag: int = 0,
     ) -> None:
         if n < 1:
             raise ConfigurationError(f"n must be >= 1, got {n}")
@@ -91,10 +116,15 @@ class SimSanitizer:
             raise ConfigurationError(
                 f"per_round_budget must be >= 0, got {per_round_budget}"
             )
+        if lag < 0:
+            raise ConfigurationError(f"lag must be >= 0, got {lag}")
         self.n = n
         self.t = t
         self.per_round_budget = per_round_budget
         self.mode = mode
+        self.fault_model = fault_model
+        self.lag = lag
+        self._omission = fault_model in self._OMISSION_MODELS
         self.violations: List[SanitizerViolation] = []
         self.begin_run()
 
@@ -124,6 +154,12 @@ class SimSanitizer:
         # Fast-engine population accounting.
         self._max_next_senders: Optional[int] = None
         self._fast_decisions: Optional[Any] = None
+        # Omission accounting: distinct faulty pids (reference engine)
+        # and the per-round suppression high-water mark (fast engines,
+        # where pids are anonymous and distinct-faulty is only bounded
+        # below by the largest single-round suppression total).
+        self._faulty: set = set()
+        self._omission_hwm = 0
 
     # ------------------------------------------------------------------
 
@@ -176,6 +212,45 @@ class SimSanitizer:
                 f"adversary budget t={self.t}",
             )
 
+    def _check_view_round(
+        self, round_index: int, view_round: Optional[int]
+    ) -> None:
+        if view_round is None:
+            return
+        freshest_allowed = max(0, round_index - self.lag)
+        if view_round > freshest_allowed:
+            self._emit(
+                "view-lag",
+                round_index,
+                f"adversary conditioned on a round-{view_round} view, "
+                f"but with lag={self.lag} nothing fresher than round "
+                f"{freshest_allowed} is allowed",
+            )
+
+    def _check_omission_faults(
+        self, round_index: int, new_faulty: set
+    ) -> None:
+        """Budget accounting for distinct omission-faulty processes."""
+        if (
+            self.per_round_budget is not None
+            and len(new_faulty) > self.per_round_budget
+        ):
+            self._emit(
+                "per-round-budget",
+                round_index,
+                f"{len(new_faulty)} newly faulty processes in one round "
+                f"exceeds the per-round budget {self.per_round_budget}",
+                new_faulty,
+            )
+        self._faulty |= new_faulty
+        if len(self._faulty) > self.t:
+            self._emit(
+                "total-budget",
+                round_index,
+                f"{len(self._faulty)} distinct omission-faulty "
+                f"processes exceeds the adversary budget t={self.t}",
+            )
+
     # ------------------------------------------------------------------
     # reference engine hook
     # ------------------------------------------------------------------
@@ -187,6 +262,10 @@ class SimSanitizer:
         victims: Iterable[int],
         decided: Mapping[int, Any],
         halted: Iterable[int] = (),
+        *,
+        faulty: Iterable[int] = (),
+        dropped: Optional[Mapping[int, Iterable[int]]] = None,
+        view_round: Optional[int] = None,
     ) -> None:
         """Record one reference-engine round.
 
@@ -196,8 +275,16 @@ class SimSanitizer:
             victims: Pids the adversary crashed in Phase B.
             decided: Newly decided pids -> decided value.
             halted: Pids that voluntarily halted this round.
+            faulty: Pids newly charged as omission-faulty this round
+                (omission models; empty under crash/late).
+            dropped: Sender -> recipients that missed its round
+                message, as recorded in the trace.  Consulted by the
+                omission contracts' ``non-faulty-drop`` check.
+            view_round: The round whose data the adversary's served
+                view carried; arms the ``view-lag`` check.
         """
         self._check_round_index(round_index)
+        self._check_view_round(round_index, view_round)
         sender_set = set(senders)
 
         dead_senders = sender_set & self._crashed
@@ -219,24 +306,55 @@ class SimSanitizer:
             )
 
         victim_set = set(victims)
-        double = victim_set & self._crashed
-        if double:
-            self._emit(
-                "invalid-victim",
-                round_index,
-                "adversary crashed already-crashed process(es)",
-                double,
+        if self._omission:
+            if victim_set:
+                self._emit(
+                    "unexpected-crash",
+                    round_index,
+                    f"the {self.fault_model!r} model never crashes "
+                    "processes, yet the engine reported crash victims",
+                    victim_set,
+                )
+            self._check_omission_faults(
+                round_index, set(faulty) - self._faulty
             )
-        ghosts = victim_set - sender_set - double
-        if ghosts:
-            self._emit(
-                "invalid-victim",
-                round_index,
-                "adversary crashed process(es) that were not alive "
-                "senders this round",
-                ghosts,
-            )
-        self._check_crash_budgets(round_index, len(victim_set))
+            if dropped:
+                if self.fault_model == "send-omission":
+                    bad = {s for s in dropped if s not in self._faulty}
+                else:
+                    bad = {
+                        r
+                        for rs in dropped.values()
+                        for r in rs
+                        if r not in self._faulty
+                    }
+                if bad:
+                    self._emit(
+                        "non-faulty-drop",
+                        round_index,
+                        "message(s) dropped at endpoint(s) never "
+                        "charged as omission-faulty",
+                        bad,
+                    )
+        else:
+            double = victim_set & self._crashed
+            if double:
+                self._emit(
+                    "invalid-victim",
+                    round_index,
+                    "adversary crashed already-crashed process(es)",
+                    double,
+                )
+            ghosts = victim_set - sender_set - double
+            if ghosts:
+                self._emit(
+                    "invalid-victim",
+                    round_index,
+                    "adversary crashed process(es) that were not alive "
+                    "senders this round",
+                    ghosts,
+                )
+            self._check_crash_budgets(round_index, len(victim_set))
 
         for pid, value in decided.items():
             if pid in self._crashed:
@@ -271,6 +389,9 @@ class SimSanitizer:
         senders: int,
         crashes: int,
         decisions: Optional[Sequence[int]] = None,
+        *,
+        omissions: int = 0,
+        view_round: Optional[int] = None,
     ) -> None:
         """Record one vectorized-engine round (population counts).
 
@@ -281,28 +402,86 @@ class SimSanitizer:
             decisions: Optional full decision vector (``-1`` =
                 undecided) snapshotted *after* the round, for the
                 irrevocability check.
+            omissions: Number of senders whose broadcast was suppressed
+                this round (omission models).  Distinct faulty pids are
+                anonymous at counts level, so the budget check uses the
+                high-water mark of this figure — a lower bound on the
+                distinct-faulty count.
+            view_round: Round whose data the adversary's view carried;
+                arms the ``view-lag`` check.
         """
         self._check_round_index(round_index)
-        if crashes < 0 or crashes > senders:
-            self._emit(
-                "invalid-victim",
-                round_index,
-                f"{crashes} crashes among {senders} senders is "
-                "impossible",
-            )
-        if (
-            self._max_next_senders is not None
-            and senders > self._max_next_senders
-        ):
-            self._emit(
-                "fail-stop",
-                round_index,
-                f"{senders} senders this round, but at most "
-                f"{self._max_next_senders} processes survived the "
-                "previous round — crashed processes re-appeared",
-            )
-        self._check_crash_budgets(round_index, crashes)
-        self._max_next_senders = senders - crashes
+        self._check_view_round(round_index, view_round)
+        if self._omission:
+            if crashes > 0:
+                self._emit(
+                    "unexpected-crash",
+                    round_index,
+                    f"the {self.fault_model!r} model never crashes "
+                    f"processes, yet the engine reported {crashes} "
+                    "crashes",
+                )
+            if omissions < 0 or omissions > senders:
+                self._emit(
+                    "invalid-victim",
+                    round_index,
+                    f"{omissions} suppressed senders among {senders} "
+                    "is impossible",
+                )
+            if (
+                self.per_round_budget is not None
+                and omissions > self.per_round_budget
+            ):
+                self._emit(
+                    "per-round-budget",
+                    round_index,
+                    f"{omissions} suppressed senders in one round "
+                    f"exceeds the per-round budget "
+                    f"{self.per_round_budget}",
+                )
+            self._omission_hwm = max(self._omission_hwm, omissions)
+            if self._omission_hwm > self.t:
+                self._emit(
+                    "total-budget",
+                    round_index,
+                    f"at least {self._omission_hwm} distinct "
+                    f"omission-faulty processes (single-round "
+                    f"high-water mark) exceeds the adversary budget "
+                    f"t={self.t}",
+                )
+            if (
+                self._max_next_senders is not None
+                and senders > self._max_next_senders
+            ):
+                self._emit(
+                    "fail-stop",
+                    round_index,
+                    f"{senders} senders this round, but at most "
+                    f"{self._max_next_senders} participated in the "
+                    "previous round — the population never grows",
+                )
+            self._max_next_senders = senders
+        else:
+            if crashes < 0 or crashes > senders:
+                self._emit(
+                    "invalid-victim",
+                    round_index,
+                    f"{crashes} crashes among {senders} senders is "
+                    "impossible",
+                )
+            if (
+                self._max_next_senders is not None
+                and senders > self._max_next_senders
+            ):
+                self._emit(
+                    "fail-stop",
+                    round_index,
+                    f"{senders} senders this round, but at most "
+                    f"{self._max_next_senders} processes survived the "
+                    "previous round — crashed processes re-appeared",
+                )
+            self._check_crash_budgets(round_index, crashes)
+            self._max_next_senders = senders - crashes
 
         if decisions is not None:
             current = list(decisions)
@@ -337,7 +516,10 @@ class SimSanitizer:
             "n": self.n,
             "t": self.t,
             "per_round_budget": self.per_round_budget,
+            "fault_model": self.fault_model,
+            "lag": self.lag,
             "rounds_observed": self._rounds_observed,
             "crashes_total": self._crashes_total,
+            "faulty_total": max(len(self._faulty), self._omission_hwm),
             "violations": [v.to_dict() for v in self.violations],
         }

@@ -59,9 +59,11 @@ from repro.errors import (
     ConfigurationError,
     TerminationViolation,
 )
+from repro.faultmodels.registry import resolve_fault_model
 from repro.protocols.synran import SynRanProtocol
 from repro.sim.engine import default_max_rounds
 from repro.sim.fast import FastResult
+from repro.sim.model import COUNTS_OMISSION, FaultModel
 from repro.sim.streams import binomial, fair_binomial, stream_keys
 
 __all__ = [
@@ -421,6 +423,13 @@ class BatchFastEngine:
         n: Number of processes per trial.
         max_rounds: Horizon; ``None`` selects the engine default.
         strict_termination: Raise on horizon instead of flagging.
+        fault_model: Failure regime (name, instance, or ``None`` for
+            ``crash``); consumed at counts level exactly as in
+            :class:`~repro.sim.fast.FastEngine` — crash kinds shrink
+            the population, omission kinds suppress broadcasts for a
+            round (budget = per-round suppression high-water mark),
+            positive ``lag`` serves the adversary a stale view.  Models
+            without a counts realisation are rejected.
 
     There is no ``sanitizer`` knob: the batch engine keeps no
     per-process state for the sanitizer to audit.  Seeds are passed to
@@ -436,6 +445,7 @@ class BatchFastEngine:
         *,
         max_rounds: Optional[int] = None,
         strict_termination: bool = True,
+        fault_model: Union[str, FaultModel, None] = None,
     ) -> None:
         if not isinstance(protocol, SynRanProtocol):
             raise ConfigurationError(
@@ -455,6 +465,13 @@ class BatchFastEngine:
             default_max_rounds(n) if max_rounds is None else max_rounds
         )
         self.strict_termination = strict_termination
+        self.fault_model: FaultModel = resolve_fault_model(fault_model)
+        if self.fault_model.counts_kind is None:
+            raise ConfigurationError(
+                f"fault model {self.fault_model.name!r} has no "
+                "counts-level realisation (counts_kind is None); use "
+                "the reference engine"
+            )
 
     # ------------------------------------------------------------------
 
@@ -542,6 +559,13 @@ class BatchFastEngine:
         hist: List[np.ndarray] = []
         crashes_hist: List[np.ndarray] = []
         senders_hist: List[np.ndarray] = []
+        omission = self.fault_model.counts_kind == COUNTS_OMISSION
+        lag = self.fault_model.lag
+        # With a lagged adversary, per-round count snapshots are kept so
+        # round r can be served the self-consistent view of round r-lag.
+        snapshots: List[
+            Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+        ] = []
 
         def received(j: int) -> np.ndarray:
             return np.full(M, n, dtype=np.int64) if j < 0 else hist[j]
@@ -576,9 +600,41 @@ class BatchFastEngine:
                 received_history=tuple(hist),
                 active=active,
             )
-            k1, k0 = self.adversary.choose(view)
+            if lag:
+                snapshots.append(
+                    (
+                        stage.copy(),
+                        p.copy(),
+                        ones.copy(),
+                        zeros.copy(),
+                        np.where(tent, p, 0),
+                    )
+                )
+                j = max(0, r - lag)
+                s_stage, s_p, s_ones, s_zeros, s_tent = snapshots[j]
+                adv_view = BatchFastView(
+                    round_index=j,
+                    n=n,
+                    stage=s_stage,
+                    senders=s_p,
+                    ones=s_ones,
+                    zeros=s_zeros,
+                    tentative=s_tent,
+                    budget_remaining=t - budget_used,
+                    received_history=tuple(hist[:j]),
+                    active=active,
+                )
+            else:
+                adv_view = view
+            k1, k0 = self.adversary.choose(adv_view)
             k1 = np.where(active, np.asarray(k1, dtype=np.int64), 0)
             k0 = np.where(active, np.asarray(k0, dtype=np.int64), 0)
+            if lag:
+                # Kill counts chosen against stale class sizes may
+                # overshoot today's population; the lagged adversary
+                # gets the clamped effect, never an error.
+                k1 = np.minimum(k1, ones)
+                k0 = np.minimum(k0, zeros)
             bad = (k1 < 0) | (k0 < 0) | (k1 > ones) | (k0 > zeros)
             if bad.any():
                 i = int(np.flatnonzero(bad)[0])
@@ -587,13 +643,26 @@ class BatchFastEngine:
                     f"({int(k1[i])}, {int(k0[i])}) for trial {i} with "
                     f"ones={int(ones[i])}, zeros={int(zeros[i])}"
                 )
-            budget_used = budget_used + k1 + k0
-            if (budget_used > t).any():
-                i = int(np.flatnonzero(budget_used > t)[0])
-                raise BudgetExceededError(
-                    f"batch adversary used {int(budget_used[i])} crashes "
-                    f"in trial {i}, budget is {t}"
-                )
+            if omission:
+                # Budget = high-water mark of per-round suppression: a
+                # lower bound on distinct omission-faulty processes
+                # (pids are anonymous at counts level).
+                budget_used = np.maximum(budget_used, k1 + k0)
+                if (budget_used > t).any():
+                    i = int(np.flatnonzero(budget_used > t)[0])
+                    raise BudgetExceededError(
+                        f"batch adversary suppressed "
+                        f"{int(budget_used[i])} senders in one round of "
+                        f"trial {i}; distinct-faulty budget is {t}"
+                    )
+            else:
+                budget_used = budget_used + k1 + k0
+                if (budget_used > t).any():
+                    i = int(np.flatnonzero(budget_used > t)[0])
+                    raise BudgetExceededError(
+                        f"batch adversary used {int(budget_used[i])} crashes "
+                        f"in trial {i}, budget is {t}"
+                    )
             crashes_hist.append(k1 + k0)
             senders_hist.append(p.copy())
 
@@ -602,10 +671,20 @@ class BatchFastEngine:
             delivered = d1 + d0
             hist.append(delivered.copy())
 
-            # Default transition for every stage: survivors keep their
-            # current bit; the probabilistic cascade overwrites below.
-            ones = d1.copy()
-            zeros = d0.copy()
+            if omission:
+                # Population preserved: suppressed senders keep their
+                # bit and transition on the common delivered tallies;
+                # the cascade overwrites the full population ``p``.
+                pop = p
+                ones = ones.copy()
+                zeros = zeros.copy()
+            else:
+                # Default transition for every stage: survivors keep
+                # their current bit; the probabilistic cascade
+                # overwrites below.
+                pop = delivered
+                ones = d1.copy()
+                zeros = d0.copy()
 
             st = stage.copy()  # pre-round stages (transitions are one-way)
             prob = active & (st == STAGE_PROBABILISTIC)
@@ -647,19 +726,19 @@ class BatchFastEngine:
 
                 to_one = b_dec1 | b_prop1 | b_bias
                 to_zero = b_dec0 | b_prop0
-                ones[to_one] = delivered[to_one]
+                ones[to_one] = pop[to_one]
                 zeros[to_one] = 0
                 ones[to_zero] = 0
-                zeros[to_zero] = delivered[to_zero]
+                zeros[to_zero] = pop[to_zero]
                 tent[b_dec1 | b_dec0] = True
                 if coin.any():
                     heads = fair_binomial(
                         coin_keys,
                         r * coin_stride,
-                        np.where(coin, delivered, 0),
+                        np.where(coin, pop, 0),
                     )
                     ones[coin] = heads[coin]
-                    zeros[coin] = (delivered - heads)[coin]
+                    zeros[coin] = (pop - heads)[coin]
 
             # SYNC: the one-round delay — inbox ignored, bits frozen,
             # flood set starts empty (a process crashed in the first
@@ -683,7 +762,11 @@ class BatchFastEngine:
 
             # A trial whose every process has crashed terminates with
             # no decision but a decision_round, like the scalar engine.
-            dead = active & (delivered == 0) & ~stopped & ~finish
+            # Omission never kills, so no trial dies under it.
+            if omission:
+                dead = np.zeros(M, dtype=bool)
+            else:
+                dead = active & (delivered == 0) & ~stopped & ~finish
             decision_round[dead] = r
 
             done = stopped | finish | dead
@@ -709,7 +792,11 @@ class BatchFastEngine:
             decision_round=decision_round,
             decision=decision,
             crashes_used=budget_used,
-            survivors=n - budget_used,
+            survivors=(
+                np.full(M, n, dtype=np.int64)
+                if omission
+                else n - budget_used
+            ),
             terminated=decision_round >= 0,
             crashes_per_round=crashes,
             senders_per_round=senders,

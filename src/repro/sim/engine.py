@@ -7,19 +7,25 @@ the paper:
 1. **Phase A** — every alive, non-halted process computes the payload it
    wishes to broadcast (flipping local coins as needed; each process
    owns a deterministically-seeded private PRNG).
-2. **Adversary** — the full-information adversary receives a
-   :class:`~repro.sim.model.RoundView` containing *all* local states and
-   all pending payloads, and returns a
-   :class:`~repro.sim.model.FailureDecision`: which processes crash this
-   round and, per victim, which recipients still get the victim's
-   message.
-3. **Phase B** — messages are delivered (reliable links: non-victims
-   deliver to everyone; every process always sees its own broadcast
-   value, since it is local knowledge) and each surviving process runs
-   its receive transition, possibly deciding or halting.
+2. **Adversary** — the adversary receives the
+   :class:`~repro.sim.model.RoundView` the active
+   :class:`~repro.sim.model.FaultModel` serves it (the full-information
+   crash model passes the current view through; the late model serves a
+   stale one) and returns a fault decision: a
+   :class:`~repro.sim.model.FailureDecision` under the crash/late
+   models, an omission decision under the omission models.
+3. **Phase B** — messages are delivered (reliable links: senders whose
+   messages the fault model does not drop deliver to everyone; every
+   process always sees its own broadcast value, since it is local
+   knowledge) and each surviving process runs its receive transition,
+   possibly deciding or halting.
 
-The engine enforces the model's invariants (budget, victim liveness,
-irrevocable decisions) and records a full
+All failure semantics — who counts against the budget ``t``, who stops
+participating, which messages are dropped — are delegated to the fault
+model (see :mod:`repro.faultmodels`); the default ``crash`` model
+reproduces the paper's fail-stop semantics bit for bit.  The engine
+enforces the model's invariants (budget, victim liveness, irrevocable
+decisions) and records a full
 :class:`~repro.sim.trace.ExecutionTrace`.
 """
 
@@ -44,13 +50,13 @@ from repro.errors import (
     ProtocolViolationError,
     TerminationViolation,
 )
+from repro.faultmodels.registry import resolve_fault_model
 from repro.lint.sanitizer import SimSanitizer
 from repro.sim.model import (
-    FailureDecision,
+    FaultModel,
     ProcessCore,
     RoundView,
     Verdict,
-    validate_failure_decision,
 )
 from repro.sim.trace import ExecutionTrace, RoundRecord
 
@@ -130,10 +136,16 @@ class Engine:
             Disable for long measurement runs to save memory.
         sanitizer: Runtime model-contract monitor.  ``True`` builds a
             default :class:`~repro.lint.sanitizer.SimSanitizer` (total
-            budget only); pass an instance (e.g.
-            ``SimSanitizer.lower_bound(n, t)``) to also enforce the
-            paper's per-round failure budget.  ``None`` (default)
-            disables the sanitizer entirely — zero overhead.
+            budget only) configured for the active fault model; pass an
+            instance (e.g. ``SimSanitizer.lower_bound(n, t)``) to also
+            enforce the paper's per-round failure budget.  ``None``
+            (default) disables the sanitizer entirely — zero overhead.
+        fault_model: Failure regime to simulate: a registered name
+            (``"crash"``, ``"send-omission"``, ``"receive-omission"``,
+            ``"late"``), a :class:`~repro.sim.model.FaultModel`
+            instance, or ``None`` for the default ``crash`` model,
+            which reproduces the pre-fault-layer fail-stop semantics
+            bit for bit.
     """
 
     def __init__(
@@ -147,6 +159,7 @@ class Engine:
         strict_termination: bool = True,
         record_payloads: bool = True,
         sanitizer: Union[SimSanitizer, bool, None] = None,
+        fault_model: Union[str, FaultModel, None] = None,
     ) -> None:
         if n < 1:
             raise ConfigurationError(f"n must be >= 1, got {n}")
@@ -167,8 +180,14 @@ class Engine:
             )
         self.strict_termination = strict_termination
         self.record_payloads = record_payloads
+        self.fault_model: FaultModel = resolve_fault_model(fault_model)
         if sanitizer is True:
-            sanitizer = SimSanitizer(n, adversary.t)
+            sanitizer = SimSanitizer(
+                n,
+                adversary.t,
+                fault_model=self.fault_model.name,
+                lag=self.fault_model.lag,
+            )
         self.sanitizer: Optional[SimSanitizer] = sanitizer or None
 
     def run(self, inputs: Sequence[int]) -> ExecutionResult:
@@ -193,6 +212,8 @@ class Engine:
         master = random.Random(self.seed)
         if self.sanitizer is not None:
             self.sanitizer.begin_run()
+        model = self.fault_model
+        model.begin_run(self.n, self.adversary.t)
         states: Dict[int, ProcessCore] = {}
         for pid in range(self.n):
             rng = random.Random(master.getrandbits(64))
@@ -242,32 +263,36 @@ class Engine:
                 budget_remaining=self.adversary.t - budget_used,
                 inputs=trace.inputs,
             )
-            decision = self.adversary.on_round(view)
-            if decision is None:
-                decision = FailureDecision.none()
-            validate_failure_decision(decision, view)
-            budget_used += decision.count()
+            adv_view = model.adversary_view(view)
+            decision = model.normalize(
+                self.adversary.on_round(adv_view), view
+            )
+            model.validate(decision, view)
+            cost, newly_faulty = model.charge(decision)
+            budget_used += cost
             if budget_used > self.adversary.t:
                 raise BudgetExceededError(
                     f"adversary used {budget_used} crashes, budget is "
                     f"{self.adversary.t}"
                 )
-            victims = decision.victims
+            victims = model.crash_victims(decision)
 
-            # Phase B: deliver and run receive transitions.
+            # Phase B: deliver and run receive transitions.  The
+            # withheld map (sender -> recipients that miss its round
+            # message) is the single delivery oracle: it drives the
+            # inboxes here and is recorded verbatim in the trace.
             receivers = [pid for pid in participants if pid not in victims]
+            withheld = model.withheld(decision, participants, receivers)
             decided_this_round: Dict[int, int] = {}
             halted_this_round = set()
             for pid in receivers:
                 inbox: Dict[int, Any] = {}
                 for sender in participants:
-                    if sender == pid:
-                        inbox[sender] = payloads[sender]
-                    elif sender in victims:
-                        if decision.receives_from(sender, pid):
-                            inbox[sender] = payloads[sender]
-                    else:
-                        inbox[sender] = payloads[sender]
+                    if sender != pid:
+                        missed = withheld.get(sender)
+                        if missed is not None and pid in missed:
+                            continue
+                    inbox[sender] = payloads[sender]
                 state = states[pid]
                 was_decided = state.decided
                 self.protocol.receive(state, round_index, inbox)
@@ -289,19 +314,14 @@ class Engine:
                     victims,
                     decided_this_round,
                     halted_this_round,
+                    faulty=newly_faulty,
+                    dropped=withheld,
+                    view_round=model.view_round(round_index),
                 )
 
             alive -= victims
             crashed |= victims
 
-            withheld = {
-                v: frozenset(
-                    r
-                    for r in receivers
-                    if not decision.receives_from(v, r) and r != v
-                )
-                for v in victims
-            }
             trace.append(
                 RoundRecord(
                     index=round_index,

@@ -33,9 +33,11 @@ from repro.errors import (
     ConfigurationError,
     TerminationViolation,
 )
+from repro.faultmodels.registry import resolve_fault_model
 from repro.lint.sanitizer import SimSanitizer
 from repro.protocols.synran import Stage, SynRanProtocol
 from repro.sim.engine import default_max_rounds
+from repro.sim.model import COUNTS_OMISSION, FaultModel
 
 __all__ = [
     "FastAdversary",
@@ -306,9 +308,21 @@ class FastEngine:
         max_rounds: Horizon; ``None`` selects the engine default.
         strict_termination: Raise on horizon instead of flagging.
         sanitizer: Runtime model-contract monitor.  ``True`` builds a
-            default :class:`~repro.lint.sanitizer.SimSanitizer`; pass
-            an instance to configure the per-round budget.  ``None``
-            (default) disables it — zero overhead.
+            default :class:`~repro.lint.sanitizer.SimSanitizer`
+            configured for the active fault model; pass an instance to
+            configure the per-round budget.  ``None`` (default)
+            disables it — zero overhead.
+        fault_model: Failure regime (name, instance, or ``None`` for
+            ``crash``).  The counts-level engine consumes only the
+            model's ``counts_kind`` and ``lag``: ``crash``-kind models
+            remove victims from the population, ``omission``-kind
+            models suppress senders' broadcasts for one round without
+            shrinking the population (budgeted by the per-round
+            high-water mark, a lower bound on distinct faulty
+            processes), and a positive ``lag`` serves the adversary the
+            stale view of ``lag`` rounds earlier.  Models whose
+            ``counts_kind`` is ``None`` (e.g. ``receive-omission``)
+            cannot collapse to uniform counts and are rejected.
     """
 
     def __init__(
@@ -321,6 +335,7 @@ class FastEngine:
         max_rounds: Optional[int] = None,
         strict_termination: bool = True,
         sanitizer: Union[SimSanitizer, bool, None] = None,
+        fault_model: Union[str, FaultModel, None] = None,
     ) -> None:
         if not isinstance(protocol, SynRanProtocol):
             raise ConfigurationError(
@@ -341,8 +356,20 @@ class FastEngine:
             default_max_rounds(n) if max_rounds is None else max_rounds
         )
         self.strict_termination = strict_termination
+        self.fault_model: FaultModel = resolve_fault_model(fault_model)
+        if self.fault_model.counts_kind is None:
+            raise ConfigurationError(
+                f"fault model {self.fault_model.name!r} has no "
+                "counts-level realisation (counts_kind is None); use "
+                "the reference engine"
+            )
         if sanitizer is True:
-            sanitizer = SimSanitizer(n, adversary.t)
+            sanitizer = SimSanitizer(
+                n,
+                adversary.t,
+                fault_model=self.fault_model.name,
+                lag=self.fault_model.lag,
+            )
         self.sanitizer: Optional[SimSanitizer] = sanitizer or None
 
     def run(self, inputs: Sequence[int]) -> FastResult:
@@ -377,6 +404,12 @@ class FastEngine:
         threshold = deterministic_stage_threshold(n)
         budget_used = 0
         decision_round: Optional[int] = None
+        model = self.fault_model
+        omission = model.counts_kind == COUNTS_OMISSION
+        lag = model.lag
+        # With a lagged adversary, past views are kept so round r can be
+        # served the (fully self-consistent) view of round r - lag.
+        view_hist: List[FastView] = []
 
         def received(r: int) -> int:
             return n if r < 0 else n_hist[r]
@@ -408,31 +441,71 @@ class FastEngine:
                 budget_remaining=self.adversary.t - budget_used,
                 received_history=tuple(n_hist),
             )
-            k1, k0 = self.adversary.choose(view)
+            if lag:
+                view_hist.append(view)
+                s = view_hist[max(0, r - lag)]
+                adv_view = FastView(
+                    round_index=s.round_index,
+                    n=n,
+                    stage=s.stage,
+                    senders=s.senders,
+                    ones=s.ones,
+                    zeros=s.zeros,
+                    tentative=s.tentative,
+                    budget_remaining=self.adversary.t - budget_used,
+                    received_history=s.received_history,
+                )
+            else:
+                adv_view = view
+            k1, k0 = self.adversary.choose(adv_view)
+            if lag:
+                # Kill counts chosen against stale class sizes may
+                # overshoot today's population; the lagged adversary
+                # gets the clamped effect, never an error.
+                k1 = min(k1, ones)
+                k0 = min(k0, zeros)
             if k1 < 0 or k0 < 0 or k1 > ones or k0 > zeros:
                 raise ConfigurationError(
                     f"fast adversary returned invalid kill counts "
                     f"({k1}, {k0}) with ones={ones}, zeros={zeros}"
                 )
-            budget_used += k1 + k0
-            if budget_used > self.adversary.t:
-                raise BudgetExceededError(
-                    f"fast adversary used {budget_used} crashes, budget "
-                    f"is {self.adversary.t}"
-                )
+            if omission:
+                # Budget = high-water mark of per-round suppression: a
+                # lower bound on distinct omission-faulty processes
+                # (pids are anonymous at counts level).
+                budget_used = max(budget_used, k1 + k0)
+                if budget_used > self.adversary.t:
+                    raise BudgetExceededError(
+                        f"fast adversary suppressed {k1 + k0} senders "
+                        f"in one round; distinct-faulty budget is "
+                        f"{self.adversary.t}"
+                    )
+            else:
+                budget_used += k1 + k0
+                if budget_used > self.adversary.t:
+                    raise BudgetExceededError(
+                        f"fast adversary used {budget_used} crashes, budget "
+                        f"is {self.adversary.t}"
+                    )
             crashes_per_round.append(k1 + k0)
             senders_per_round.append(p)
 
-            # Crash the victims (silently): first k1 1-senders, k0
-            # 0-senders, in pid order (which victims is irrelevant
-            # under uniform views).
-            if k1:
-                victims_1 = np.flatnonzero(senders & (b == 1))[:k1]
-                alive[victims_1] = False
-            if k0:
-                victims_0 = np.flatnonzero(senders & (b == 0))[:k0]
-                alive[victims_0] = False
-            receivers = senders & alive
+            if omission:
+                # Suppress without killing: the population is intact,
+                # everyone (including suppressed senders) receives the
+                # common surviving tallies.
+                receivers = senders
+            else:
+                # Crash the victims (silently): first k1 1-senders, k0
+                # 0-senders, in pid order (which victims is irrelevant
+                # under uniform views).
+                if k1:
+                    victims_1 = np.flatnonzero(senders & (b == 1))[:k1]
+                    alive[victims_1] = False
+                if k0:
+                    victims_0 = np.flatnonzero(senders & (b == 0))[:k0]
+                    alive[victims_0] = False
+                receivers = senders & alive
             d_ones = ones - k1
             d_zeros = zeros - k0
             delivered = d_ones + d_zeros
@@ -464,7 +537,14 @@ class FastEngine:
                 stage = Stage.DETERMINISTIC
                 det_rounds_done = 0
             else:  # deterministic flooding
-                det_known |= set(int(v) for v in np.unique(b[receivers]))
+                # Count-based: a value floods iff any sender of that
+                # class was delivered this round (for crash kinds the
+                # survivors of class v number d_ones/d_zeros, so this
+                # is exactly np.unique over the surviving bits).
+                if d_ones > 0:
+                    det_known.add(1)
+                if d_zeros > 0:
+                    det_known.add(0)
                 det_rounds_done += 1
                 if det_rounds_done >= det_total:
                     value = min(det_known) if det_known else 0
@@ -473,7 +553,12 @@ class FastEngine:
 
             if self.sanitizer is not None:
                 self.sanitizer.observe_fast_round(
-                    r, p, k1 + k0, decisions=decision.tolist()
+                    r,
+                    p,
+                    0 if omission else k1 + k0,
+                    decisions=decision.tolist(),
+                    omissions=k1 + k0 if omission else 0,
+                    view_round=model.view_round(r),
                 )
 
             if decision_round is None:

@@ -1,6 +1,7 @@
 """Core data model shared by the simulator engines and adversaries.
 
-The types here encode the paper's synchronous fail-stop model:
+The types here encode the paper's synchronous round structure, plus the
+pluggable fault layer the engines inject failures through:
 
 * :class:`ProcessCore` — the engine-visible part of a process's local
   state (identity, input, RNG, decision/halt flags).  Protocol
@@ -8,22 +9,59 @@ The types here encode the paper's synchronous fail-stop model:
 * :class:`RoundView` — the *full-information* snapshot handed to the
   adversary after Phase A of each round: every local state and every
   pending message, plus budget bookkeeping.
-* :class:`FailureDecision` — the adversary's Phase-B action: which
-  processes crash this round, and for each victim, exactly which
-  recipients still receive its message.
+* :class:`FaultDecision` — the abstract per-round action of an
+  adversary; its concrete family is per fault model:
+  :class:`FailureDecision` (crash), :class:`SendOmissionDecision`, and
+  :class:`ReceiveOmissionDecision`.
+* :class:`FaultModel` — the pluggable fault-injection protocol: how a
+  decision is validated, charged against the budget ``t``, and turned
+  into deliveries, and what view the adversary gets to see.  Concrete
+  models (``crash``, ``send-omission``, ``receive-omission``, ``late``)
+  live in :mod:`repro.faultmodels`.
 * :class:`Verdict` — the outcome of checking Agreement / Validity /
   Termination on a finished execution.
 """
 
 from __future__ import annotations
 
+import abc
 import random
+import types
 from dataclasses import dataclass, field
-from typing import Any, Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+from typing import (
+    Any,
+    ClassVar,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.errors import ConfigurationError
 
-__all__ = ["ProcessCore", "RoundView", "FailureDecision", "Verdict"]
+__all__ = [
+    "COUNTS_CRASH",
+    "COUNTS_OMISSION",
+    "CrashDecision",
+    "FaultDecision",
+    "FaultModel",
+    "FailureDecision",
+    "ProcessCore",
+    "ReceiveOmissionDecision",
+    "RoundView",
+    "SendOmissionDecision",
+    "Verdict",
+]
+
+#: ``FaultModel.counts_kind`` value for models the counts engines run
+#: with crash semantics (population shrinks by the kill counts).
+COUNTS_CRASH = "crash"
+#: ``FaultModel.counts_kind`` value for models the counts engines run
+#: with omission semantics (sends suppressed, population preserved).
+COUNTS_OMISSION = "omission"
 
 
 @dataclass
@@ -87,9 +125,12 @@ class RoundView:
     Per the model in Section 3.1, the adversary examines the local coins
     and variables of all active processes *and the messages they wish to
     send*, then chooses failures.  ``states`` and ``payloads`` are
-    references to live objects for efficiency; adversaries must treat
-    them as read-only (mutating them is undefined behaviour, and the
-    bundled adversaries never do).
+    live references for efficiency, wrapped in
+    :class:`types.MappingProxyType` at construction: reading is free,
+    but adding/removing/replacing entries raises ``TypeError`` instead
+    of silently corrupting the run.  (The proxy cannot freeze the
+    *objects* inside ``states``; mutating a foreign process state
+    remains undefined behaviour, policed by the REP003 lint rule.)
 
     Attributes:
         round_index: Zero-based index of the current round.
@@ -115,14 +156,41 @@ class RoundView:
     budget_remaining: int
     inputs: Tuple[int, ...]
 
+    def __post_init__(self) -> None:
+        # Read-only proxies over the live mappings: entry-level
+        # mutation by an adversary raises instead of corrupting the
+        # engine's bookkeeping.  Guard against double-wrapping so views
+        # can be rebuilt from other views (the late model does).
+        for name in ("states", "payloads"):
+            value = getattr(self, name)
+            if not isinstance(value, types.MappingProxyType):
+                object.__setattr__(
+                    self, name, types.MappingProxyType(value)
+                )
+
     def alive_count(self) -> int:
         """Number of processes still participating this round."""
         return len(self.alive)
 
 
+class FaultDecision:
+    """Marker base of the per-model decision family.
+
+    An adversary's per-round action is a concrete subclass whose shape
+    matches the active :class:`FaultModel`: :class:`FailureDecision`
+    under ``crash`` and ``late``, :class:`SendOmissionDecision` under
+    ``send-omission``, :class:`ReceiveOmissionDecision` under
+    ``receive-omission``.  Models *coerce* a crash-shaped decision into
+    their own shape (see :meth:`FaultModel.normalize`), so every
+    crash-era adversary remains usable under every model.
+    """
+
+    __slots__ = ()
+
+
 @dataclass(frozen=True)
-class FailureDecision:
-    """The adversary's action for one round.
+class FailureDecision(FaultDecision):
+    """The adversary's action for one round under the crash model.
 
     ``deliveries`` maps each victim pid to the frozen set of recipient
     pids that *do* receive the victim's round message; every recipient
@@ -180,6 +248,239 @@ class FailureDecision:
         """Whether ``recipient`` still gets ``victim``'s round message."""
         allowed = self.deliveries.get(victim)
         return allowed is not None and recipient in allowed
+
+
+#: Backwards-compatible alias: ``FailureDecision`` predates the fault
+#: layer and keeps its name; ``CrashDecision`` is the model-family name.
+CrashDecision = FailureDecision
+
+
+@dataclass(frozen=True)
+class SendOmissionDecision(FaultDecision):
+    """One round of send-omission faults.
+
+    ``suppressed`` maps each faulty *sender* to the frozen set of
+    recipients that do **not** receive its round message.  Unlike a
+    crash, the sender stays alive: it keeps participating, keeps
+    receiving, and may broadcast normally in later rounds.  A process
+    always sees its own broadcast value — self-knowledge is not a
+    message — so a sender never appears in its own suppressed set's
+    effect.
+
+    A pid becomes *faulty* (and is charged against the budget ``t``)
+    the first round it appears as a key with a non-empty recipient set;
+    once faulty it stays faulty for accounting but may still be served
+    by the adversary in any later round at no extra cost.
+    """
+
+    suppressed: Mapping[int, FrozenSet[int]] = field(default_factory=dict)
+
+    @classmethod
+    def none(cls) -> "SendOmissionDecision":
+        """Suppress nothing this round."""
+        return cls(suppressed={})
+
+    @classmethod
+    def silence(
+        cls, senders: Iterable[int], recipients: Iterable[int]
+    ) -> "SendOmissionDecision":
+        """Suppress each sender's message to every listed recipient."""
+        everyone = frozenset(recipients)
+        return cls(suppressed={s: everyone for s in senders})
+
+    @classmethod
+    def of(
+        cls, suppressed: Mapping[int, Iterable[int]]
+    ) -> "SendOmissionDecision":
+        """Normalise an arbitrary mapping into the frozen form."""
+        return cls(
+            suppressed={
+                s: frozenset(rs) for s, rs in suppressed.items() if rs
+            }
+        )
+
+    @property
+    def faulty(self) -> FrozenSet[int]:
+        """Senders marked omission-faulty by this decision."""
+        return frozenset(
+            s for s, rs in self.suppressed.items() if rs
+        )
+
+    def drops(self, sender: int, recipient: int) -> bool:
+        """Whether ``sender``'s message to ``recipient`` is dropped."""
+        return recipient in self.suppressed.get(sender, frozenset())
+
+
+@dataclass(frozen=True)
+class ReceiveOmissionDecision(FaultDecision):
+    """One round of receive-omission faults.
+
+    ``blocked`` maps each faulty *receiver* to the frozen set of
+    senders whose round messages it misses.  The senders are healthy —
+    every other receiver gets their messages — and the faulty receiver
+    still sees its own broadcast value (self-knowledge is not a
+    message).  Budget accounting mirrors
+    :class:`SendOmissionDecision`: a receiver is charged once, the
+    first round it blocks anything.
+    """
+
+    blocked: Mapping[int, FrozenSet[int]] = field(default_factory=dict)
+
+    @classmethod
+    def none(cls) -> "ReceiveOmissionDecision":
+        """Block nothing this round."""
+        return cls(blocked={})
+
+    @classmethod
+    def of(
+        cls, blocked: Mapping[int, Iterable[int]]
+    ) -> "ReceiveOmissionDecision":
+        """Normalise an arbitrary mapping into the frozen form."""
+        return cls(
+            blocked={
+                r: frozenset(ss) for r, ss in blocked.items() if ss
+            }
+        )
+
+    @property
+    def faulty(self) -> FrozenSet[int]:
+        """Receivers marked omission-faulty by this decision."""
+        return frozenset(r for r, ss in self.blocked.items() if ss)
+
+    def drops(self, sender: int, recipient: int) -> bool:
+        """Whether ``sender``'s message to ``recipient`` is dropped."""
+        return sender in self.blocked.get(recipient, frozenset())
+
+
+class FaultModel(abc.ABC):
+    """The pluggable fault-injection protocol of the engines.
+
+    A fault model owns the semantics of one failure regime: which
+    decision shapes are legal, how a round's decision is charged
+    against the budget ``t``, which processes (if any) crash, which
+    point-to-point deliveries are dropped, and what view of the system
+    the adversary is allowed to condition on.  The reference engine
+    drives the full protocol; the counts engines (fast/batch) consume
+    only :attr:`counts_kind` and :attr:`lag`, because under uniform
+    views a round's faults collapse to per-bit-class counts.
+
+    Concrete models live in :mod:`repro.faultmodels` and are resolved
+    by name through :func:`repro.faultmodels.registry.make_fault_model`
+    (``crash``, ``send-omission``, ``receive-omission``, ``late``).
+
+    Class attributes:
+        name: Registry name of the model.
+        counts_kind: How the counts engines realise the model —
+            ``"crash"`` (kill counts shrink the population),
+            ``"omission"`` (suppression counts, population preserved),
+            or ``None`` (reference engine only; the counts engines
+            refuse the model at construction).
+
+    Attributes:
+        lag: How many rounds the adversary's view trails reality.
+            ``0`` for every full-information model; the ``late`` model
+            sets its ε here.
+
+    A model instance may keep per-run accounting state (the omission
+    models track the distinct-faulty set); engines call
+    :meth:`begin_run` before every execution, so one instance can be
+    reused across trials but must not be shared across concurrently
+    running engines.
+    """
+
+    name: ClassVar[str] = "abstract"
+    counts_kind: ClassVar[Optional[str]] = COUNTS_CRASH
+    lag: int = 0
+
+    def begin_run(self, n: int, t: int) -> None:
+        """Reset per-run accounting for a fresh execution."""
+
+    @abc.abstractmethod
+    def normalize(
+        self, decision: Optional[FaultDecision], view: RoundView
+    ) -> FaultDecision:
+        """Coerce an adversary's raw return into this model's shape.
+
+        ``None`` becomes the model's no-op decision.  A crash-shaped
+        :class:`FailureDecision` is reinterpreted by non-crash models
+        (e.g. send-omission treats each victim as a faulty sender whose
+        withheld recipients are suppressed), so crash-era adversaries
+        work under every model.  Raises
+        :class:`~repro.errors.ConfigurationError` for shapes the model
+        cannot express.
+        """
+
+    @abc.abstractmethod
+    def validate(self, decision: FaultDecision, view: RoundView) -> None:
+        """Check per-round structural rules (liveness, pid ranges)."""
+
+    @abc.abstractmethod
+    def charge(
+        self, decision: FaultDecision
+    ) -> Tuple[int, FrozenSet[int]]:
+        """Account one round's decision against the budget.
+
+        Returns ``(cost, newly_faulty)``: how many budget units the
+        decision consumes *this round* and which pids were newly marked
+        omission-faulty (empty for crash-family models, whose cost is
+        the victim count).  Stateful: omission models remember the
+        faulty set across rounds so re-serving a faulty pid is free.
+        """
+
+    @abc.abstractmethod
+    def crash_victims(self, decision: FaultDecision) -> FrozenSet[int]:
+        """Pids that stop participating forever after this round."""
+
+    @abc.abstractmethod
+    def delivers(
+        self, decision: FaultDecision, sender: int, recipient: int
+    ) -> bool:
+        """Whether ``sender``'s round message reaches ``recipient``.
+
+        Only consulted for ``sender != recipient``; a process always
+        sees its own broadcast value regardless of the model.
+        """
+
+    def adversary_view(self, view: RoundView) -> RoundView:
+        """The view the adversary conditions on this round.
+
+        Full-information models return ``view`` unchanged.  The late
+        model records a snapshot and serves the one from ``lag`` rounds
+        ago (coin-free initial information before round ``lag``), with
+        only ``budget_remaining`` reflecting the present.
+        """
+        return view
+
+    def view_round(self, round_index: int) -> int:
+        """The round whose coin-dependent data the adversary saw.
+
+        Equals ``round_index`` for full-information models; the late
+        model reports ``max(0, round_index - lag)``.  The sanitizer
+        uses this to police that a lagged adversary never conditioned
+        on data fresher than its declared lag.
+        """
+        return round_index
+
+    def withheld(
+        self,
+        decision: FaultDecision,
+        participants: Sequence[int],
+        receivers: Sequence[int],
+    ) -> Dict[int, FrozenSet[int]]:
+        """Trace record: sender -> receivers that missed its message.
+
+        The default covers crash-family models (entries for every
+        victim, even when nothing was withheld, matching the historical
+        trace shape); omission models override to record their drops.
+        """
+        return {
+            v: frozenset(
+                r
+                for r in receivers
+                if r != v and not self.delivers(decision, v, r)
+            )
+            for v in self.crash_victims(decision)
+        }
 
 
 @dataclass(frozen=True)

@@ -24,9 +24,9 @@ from repro.harness.report import Table
 
 
 class TestRegistry:
-    def test_all_thirteen_registered(self):
+    def test_all_fourteen_registered(self):
         assert sorted(ALL_EXPERIMENTS) == sorted(
-            f"E{i}" for i in range(1, 14)
+            f"E{i}" for i in range(1, 15)
         )
 
     def test_all_ablations_registered(self):

@@ -52,6 +52,11 @@ ALL_MODULES = [
     "repro.adversary.random_crash",
     "repro.adversary.registry",
     "repro.adversary.static",
+    "repro.faultmodels",
+    "repro.faultmodels.crash",
+    "repro.faultmodels.late",
+    "repro.faultmodels.omission",
+    "repro.faultmodels.registry",
     "repro.coinflip",
     "repro.coinflip.control",
     "repro.coinflip.game",
