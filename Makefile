@@ -3,7 +3,7 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: lint lint-full replint ruff mypy test bench bench-pytest check chaos experiments-quick faults
+.PHONY: lint lint-full replint ruff mypy test bench bench-compare bench-pytest check chaos experiments-quick faults
 
 # Repo-specific static analysis (REP001-REP008, including the
 # interprocedural determinism-taint and spec-payload rules).
@@ -48,6 +48,13 @@ test:
 bench:
 	python benchmarks/bench_batch_engine.py
 	python benchmarks/bench_exec.py
+
+# Refresh the artifacts, then diff every cell against the baselines
+# committed at HEAD: >30% throughput regression in any named cell
+# fails (benchmarks/compare.py).  New cells pass; dropped cells are
+# reported for review.
+bench-compare: bench
+	python benchmarks/compare.py
 
 # The pytest-benchmark harness over the same files (contract checks +
 # interactive timing tables; does not write BENCH_*.json).

@@ -13,9 +13,13 @@ Run with::
 
 The full grid's headline cell (benign, n=1000, 10^4 batched trials) is
 the acceptance number: the batch engine must clear a 10x speedup
-there.  Smoke mode keeps the same document shape at toy sizes so CI
-can assert the artifact stays well-formed without paying for the
-measurement.
+there.  The adaptive cells (tally-attack, valency-keeper — the
+adversaries whose per-round decisions read live tallies) run both
+population axes (n in {100, 1000}) and carry their own acceptance
+bars: >= 10x over scalar, and at n=1000 within 5x of the benign batch
+cell's throughput.  Smoke mode keeps the same document shape at toy
+sizes so CI can assert the artifact stays well-formed without paying
+for the measurement.
 """
 
 from __future__ import annotations
@@ -33,19 +37,35 @@ from repro.sim.batch import (  # noqa: E402
     BatchBenign,
     BatchFastEngine,
     BatchRandomCrash,
+    BatchTallyAttack,
+    BatchValencyKeeper,
 )
 from repro.sim.fast import (  # noqa: E402
     FastBenign,
     FastEngine,
     FastRandomCrash,
+    FastTallyAttack,
+    FastValencyKeeper,
 )
 
 #: adversary name -> (scalar factory, batch factory); both take t.
+#: ``tally-attack`` and ``valency-keeper`` are the *adaptive* cells:
+#: their decisions depend on live tallies, so they stress the
+#: vectorized adversary path (the benign/random cells only stress the
+#: round step itself).
 _ADVERSARIES = {
     "benign": (lambda t: FastBenign(), lambda t: BatchBenign()),
     "random": (
         lambda t: FastRandomCrash(t, rate=0.1),
         lambda t: BatchRandomCrash(t, rate=0.1),
+    ),
+    "tally-attack": (
+        lambda t: FastTallyAttack(t),
+        lambda t: BatchTallyAttack(t),
+    ),
+    "valency-keeper": (
+        lambda t: FastValencyKeeper(t),
+        lambda t: BatchValencyKeeper(t),
     ),
 }
 
@@ -102,13 +122,27 @@ def _measure_cell(
 
 
 def _grid(smoke: bool) -> List[Tuple[str, int, int, int]]:
-    """(adversary, n, scalar_trials, batch_trials) cells to measure."""
+    """(adversary, n, scalar_trials, batch_trials) cells to measure.
+
+    Adaptive cells run both population axes (n in {100, 1000}); their
+    scalar baselines are kept small because the adaptive attacks drag
+    runs out to ~n/8 rounds, making per-trial scalar cost ~25x the
+    benign cell's.
+    """
     if smoke:
-        return [("benign", 64, 50, 200)]
+        return [
+            ("benign", 64, 50, 200),
+            ("tally-attack", 64, 20, 100),
+            ("valency-keeper", 64, 20, 100),
+        ]
     return [
         ("benign", 100, 2_000, 10_000),
         ("benign", 1000, 1_000, 10_000),  # the acceptance cell
         ("random", 1000, 1_000, 10_000),
+        ("tally-attack", 100, 500, 10_000),
+        ("tally-attack", 1000, 200, 10_000),
+        ("valency-keeper", 100, 500, 10_000),
+        ("valency-keeper", 1000, 200, 10_000),
     ]
 
 
@@ -149,6 +183,7 @@ def main(argv=None) -> int:
     print(f"wrote {path}")
 
     if not args.smoke:
+        failed = False
         headline = next(
             r for r in results if r["adversary"] == "benign" and r["n"] == 1000
         )
@@ -157,6 +192,32 @@ def main(argv=None) -> int:
                 f"WARNING: headline speedup {headline['speedup']}x is "
                 "below the 10x acceptance bar"
             )
+            failed = True
+        # Adaptive acceptance: each adaptive cell must clear a 10x
+        # speedup over its scalar baseline, and at n=1000 stay within
+        # 5x of the benign batch cell (the adversary path must not
+        # dominate the round step).
+        for row in results:
+            if row["adversary"] not in ("tally-attack", "valency-keeper"):
+                continue
+            if row["speedup"] < 10:
+                print(
+                    f"WARNING: {row['adversary']} n={row['n']} speedup "
+                    f"{row['speedup']}x is below the 10x acceptance bar"
+                )
+                failed = True
+            if (
+                row["n"] == 1000
+                and row["batch_trials_per_sec"]
+                < headline["batch_trials_per_sec"] / 5
+            ):
+                print(
+                    f"WARNING: {row['adversary']} n=1000 batch throughput "
+                    f"{row['batch_trials_per_sec']}/s is more than 5x below "
+                    f"the benign cell ({headline['batch_trials_per_sec']}/s)"
+                )
+                failed = True
+        if failed:
             return 1
     return 0
 

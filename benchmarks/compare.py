@@ -1,0 +1,163 @@
+"""Regression gate over the checked-in ``BENCH_*.json`` artifacts.
+
+``make bench-compare`` refreshes the perf artifacts and then runs this
+script, which diffs every freshly written document in the working tree
+against the baseline committed at ``HEAD`` (read via ``git show``, so
+the comparison works from a dirty tree without stashing).  A named
+cell that regresses by more than ``--tolerance`` (default 30%) on its
+throughput metric fails the run with exit code 1.
+
+Comparison rules, per artifact:
+
+* ``BENCH_batch_engine.json`` — cells keyed by ``(adversary, n)``,
+  metric ``batch_trials_per_sec``, higher is better.
+* ``BENCH_exec.json`` — cells keyed by ``case``, metric ``seconds``,
+  lower is better.
+
+Cells present only in the fresh document are *new* and pass (growing
+the grid must not require regenerating history); cells present only in
+the baseline are reported as dropped but do not fail (removals are
+reviewed in the diff itself).  A fresh document written by ``--smoke``
+mode carries no comparable numbers, so it is skipped unless
+``--allow-smoke`` asks for the shape-only check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Tuple
+
+from _emit import REPO_ROOT, validate
+
+#: filename -> (key fields, metric, higher_is_better)
+ARTIFACTS: Dict[str, Tuple[Tuple[str, ...], str, bool]] = {
+    "BENCH_batch_engine.json": (
+        ("adversary", "n"),
+        "batch_trials_per_sec",
+        True,
+    ),
+    "BENCH_exec.json": (("case",), "seconds", False),
+}
+
+
+def _baseline(name: str) -> Optional[dict]:
+    """The artifact as committed at HEAD, or None if not in HEAD."""
+    proc = subprocess.run(
+        ["git", "show", f"HEAD:{name}"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        return None
+    return json.loads(proc.stdout)
+
+
+def _cells(doc: dict, key_fields: Iterable[str]) -> Dict[tuple, dict]:
+    return {
+        tuple(row[k] for k in key_fields): row for row in doc["results"]
+    }
+
+
+def _fmt_key(key: tuple) -> str:
+    return "/".join(str(k) for k in key)
+
+
+def compare_artifact(
+    name: str, tolerance: float, allow_smoke: bool
+) -> Tuple[int, int]:
+    """Compare one artifact; return (cells checked, regressions)."""
+    key_fields, metric, higher_better = ARTIFACTS[name]
+    fresh_path = REPO_ROOT / name
+    if not fresh_path.exists():
+        print(f"{name}: no fresh artifact in working tree; skipping")
+        return 0, 0
+    fresh = validate(json.loads(fresh_path.read_text()))
+    if fresh["smoke"]:
+        if allow_smoke:
+            print(f"{name}: smoke artifact; shape check only — ok")
+            return 0, 0
+        print(
+            f"{name}: fresh artifact is a --smoke run; refusing to "
+            "compare timing (rerun `make bench` or pass --allow-smoke)"
+        )
+        return 0, 1
+    baseline = _baseline(name)
+    if baseline is None:
+        print(f"{name}: no baseline at HEAD; all cells are new — ok")
+        return 0, 0
+
+    base_cells = _cells(baseline, key_fields)
+    fresh_cells = _cells(fresh, key_fields)
+    checked = regressions = 0
+    for key, base_row in sorted(base_cells.items(), key=str):
+        fresh_row = fresh_cells.get(key)
+        if fresh_row is None:
+            print(f"{name}: {_fmt_key(key)} dropped from grid (review)")
+            continue
+        base_val = float(base_row[metric])
+        fresh_val = float(fresh_row[metric])
+        checked += 1
+        if higher_better:
+            bad = fresh_val < base_val * (1.0 - tolerance)
+            delta = (fresh_val - base_val) / base_val
+        else:
+            bad = fresh_val > base_val * (1.0 + tolerance)
+            delta = (base_val - fresh_val) / base_val
+        marker = "REGRESSION" if bad else "ok"
+        print(
+            f"{name}: {_fmt_key(key):<28} {metric} "
+            f"{base_val:>12.1f} -> {fresh_val:>12.1f} "
+            f"({delta:+.1%}) {marker}"
+        )
+        if bad:
+            regressions += 1
+    for key in sorted(set(fresh_cells) - set(base_cells), key=str):
+        print(f"{name}: {_fmt_key(key)} new cell — ok")
+    return checked, regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="fractional slowdown allowed per cell (default 0.30)",
+    )
+    parser.add_argument(
+        "--allow-smoke",
+        action="store_true",
+        help="accept --smoke artifacts with a shape-only check",
+    )
+    parser.add_argument(
+        "artifacts",
+        nargs="*",
+        default=sorted(ARTIFACTS),
+        help="artifact filenames to compare (default: all known)",
+    )
+    args = parser.parse_args(argv)
+
+    total = failures = 0
+    for name in args.artifacts:
+        if name not in ARTIFACTS:
+            print(f"unknown artifact {name!r}; known: {sorted(ARTIFACTS)}")
+            return 2
+        checked, regressions = compare_artifact(
+            name, args.tolerance, args.allow_smoke
+        )
+        total += checked
+        failures += regressions
+    print(
+        f"compared {total} cells, {failures} regression(s) "
+        f"at {args.tolerance:.0%} tolerance"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,13 +18,45 @@ nothing fresher.
 from __future__ import annotations
 
 import copy
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, Generic, List, Tuple, TypeVar
 
 from repro.errors import ConfigurationError
 from repro.faultmodels.crash import CrashFaultModel
 from repro.sim.model import ProcessCore, RoundView
 
-__all__ = ["LateFaultModel"]
+__all__ = ["LagRing", "LateFaultModel"]
+
+_Snap = TypeVar("_Snap")
+
+
+class LagRing(Generic[_Snap]):
+    """Snapshot store realising the late model's ε-stale views.
+
+    The batch engines snapshot whatever per-round state their adversary
+    views are built from (tally vectors for the 1-D engine, per-process
+    arrays for the 2-D engine); this ring serves round ``r`` the
+    snapshot of round ``max(0, r - lag)`` — the same clamping
+    :meth:`LateFaultModel.view_round` applies at message level, so all
+    three realisations of the model agree on *which* round the
+    adversary sees.  With ``lag=0`` it stores nothing.
+    """
+
+    def __init__(self, lag: int) -> None:
+        if lag < 0:
+            raise ConfigurationError(f"lag must be >= 0, got {lag}")
+        self.lag = lag
+        self._snapshots: List[_Snap] = []
+
+    def push(self, snapshot: _Snap) -> None:
+        if self.lag:
+            self._snapshots.append(snapshot)
+
+    def stale(self, round_index: int) -> _Snap:
+        """The snapshot the adversary may see in ``round_index``."""
+        return self._snapshots[max(0, round_index - self.lag)]
+
+    def stale_round(self, round_index: int) -> int:
+        return max(0, round_index - self.lag)
 
 
 class LateFaultModel(CrashFaultModel):

@@ -26,7 +26,9 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Optional, Sequence, Set, Tuple
 
-from repro.errors import ConfigurationError
+import numpy as np
+
+from repro.errors import BudgetExceededError, ConfigurationError
 from repro.sim.model import (
     COUNTS_OMISSION,
     FailureDecision,
@@ -37,7 +39,43 @@ from repro.sim.model import (
     SendOmissionDecision,
 )
 
-__all__ = ["ReceiveOmissionFaultModel", "SendOmissionFaultModel"]
+__all__ = [
+    "BatchSuppressionLedger",
+    "ReceiveOmissionFaultModel",
+    "SendOmissionFaultModel",
+]
+
+
+class BatchSuppressionLedger:
+    """Vectorized budget accounting for counts-level send-omission.
+
+    The counts engines cannot name pids, so the distinct-faulty budget
+    is charged as the *high-water mark* of per-round suppression: one
+    round suppressing ``k`` senders proves at least ``k`` distinct
+    faulty processes (a lower bound on the true distinct count — see
+    ``docs/model.md``).  This ledger is that rule over ``(M,)`` trial
+    vectors, shared by :class:`~repro.sim.batch.BatchFastEngine` and
+    the two-axis :class:`~repro.sim.batch2d.Batch2DEngine` so the 1-D
+    and 2-D realisations of the PR-7 model stay numerically identical.
+    """
+
+    def __init__(self, t: int, trials: int) -> None:
+        if t < 0:
+            raise ConfigurationError(f"budget t must be >= 0, got {t}")
+        self.t = t
+        self.used = np.zeros(trials, dtype=np.int64)
+
+    def charge(self, suppressed: np.ndarray, what: str = "senders") -> None:
+        """Record one round's per-trial suppression counts; raises
+        :class:`~repro.errors.BudgetExceededError` past the budget."""
+        self.used = np.maximum(self.used, suppressed)
+        if (self.used > self.t).any():
+            i = int(np.flatnonzero(self.used > self.t)[0])
+            raise BudgetExceededError(
+                f"batch adversary suppressed {int(self.used[i])} "
+                f"{what} in one round of trial {i}; distinct-faulty "
+                f"budget is {self.t}"
+            )
 
 
 def _check_pids(

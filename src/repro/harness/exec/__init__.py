@@ -30,6 +30,7 @@ compatibility note.
 """
 
 from repro.harness.exec.builders import (
+    available_batch2d_adversaries,
     available_batch_adversaries,
     available_fast_adversaries,
     available_input_kinds,
@@ -52,6 +53,7 @@ from repro.harness.exec.executor import (
 )
 from repro.harness.exec.spec import (
     ENGINE_BATCH,
+    ENGINE_BATCH2D,
     ENGINE_FAST,
     ENGINE_KINDS,
     ENGINE_REFERENCE,
@@ -72,6 +74,7 @@ from repro.harness.exec.trial import (
 __all__ = [
     "CACHE_SCHEMA_VERSION",
     "ENGINE_BATCH",
+    "ENGINE_BATCH2D",
     "ENGINE_FAST",
     "ENGINE_KINDS",
     "ENGINE_REFERENCE",
@@ -83,6 +86,7 @@ __all__ = [
     "TrialBatch",
     "TrialOutcome",
     "TrialSpec",
+    "available_batch2d_adversaries",
     "available_batch_adversaries",
     "available_fast_adversaries",
     "available_input_kinds",

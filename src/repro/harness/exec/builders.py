@@ -35,7 +35,12 @@ from repro.adversary.registry import make_adversary
 from repro.adversary.static import StaticAdversary
 from repro.errors import ConfigurationError
 from repro.faultmodels.registry import make_fault_model
-from repro.harness.exec.spec import ENGINE_BATCH, ENGINE_FAST, TrialSpec
+from repro.harness.exec.spec import (
+    ENGINE_BATCH,
+    ENGINE_BATCH2D,
+    ENGINE_FAST,
+    TrialSpec,
+)
 from repro.harness.workloads import (
     half_split,
     random_inputs,
@@ -49,22 +54,20 @@ from repro.protocols.gp_hybrid import GPHybridProtocol
 from repro.protocols.registry import make_protocol
 from repro.protocols.symmetric import SymmetricRanProtocol
 from repro.protocols.synran import SynRanProtocol
-from repro.sim.batch import (
-    BatchBenign,
-    BatchFastAdversary,
-    BatchOblivious,
-    BatchRandomCrash,
-    BatchTallyAttack,
-)
-from repro.sim.fast import (
-    FastAdversary,
-    FastBenign,
-    FastOblivious,
-    FastRandomCrash,
-    FastTallyAttack,
+from repro.sim.batch import BatchFastAdversary
+from repro.sim.batch2d import Batch2DAdversary
+from repro.sim.fast import FastAdversary
+from repro.sim.registry import (
+    BATCH2D_ADVERSARIES,
+    BATCH_ADVERSARIES,
+    FAST_ADVERSARIES,
+    available_batch2d_adversaries,
+    available_batch_adversaries,
+    available_fast_adversaries,
 )
 
 __all__ = [
+    "available_batch2d_adversaries",
     "available_batch_adversaries",
     "available_fast_adversaries",
     "available_input_kinds",
@@ -143,45 +146,6 @@ _ADVERSARIES: Dict[
 }
 
 
-_FAST_ADVERSARIES: Dict[
-    str, Callable[[int, Dict[str, object]], FastAdversary]
-] = {
-    "benign": lambda t, p: FastBenign(),
-    "random": lambda t, p: FastRandomCrash(t, **{"rate": 0.1, **p}),
-    "tally-attack": lambda t, p: FastTallyAttack(t, **p),
-    "tally-split-only": lambda t, p: FastTallyAttack(
-        t, enable_bleed=False, **p
-    ),
-    "tally-bleed-only": lambda t, p: FastTallyAttack(
-        t, enable_split=False, **p
-    ),
-    "oblivious-calibrated": lambda t, p: FastOblivious.from_schedule(
-        t, calibrated_drip_schedule
-    ),
-}
-
-
-# Mirrors _FAST_ADVERSARIES name-for-name: every fast-engine adversary
-# has a batched counterpart, so flipping a spec between engine="fast"
-# and engine="batch" never changes which attacks are expressible.
-_BATCH_ADVERSARIES: Dict[
-    str, Callable[[int, Dict[str, object]], BatchFastAdversary]
-] = {
-    "benign": lambda t, p: BatchBenign(),
-    "random": lambda t, p: BatchRandomCrash(t, **{"rate": 0.1, **p}),
-    "tally-attack": lambda t, p: BatchTallyAttack(t, **p),
-    "tally-split-only": lambda t, p: BatchTallyAttack(
-        t, enable_bleed=False, **p
-    ),
-    "tally-bleed-only": lambda t, p: BatchTallyAttack(
-        t, enable_split=False, **p
-    ),
-    "oblivious-calibrated": lambda t, p: BatchOblivious.from_schedule(
-        t, calibrated_drip_schedule
-    ),
-}
-
-
 _INPUTS: Dict[
     str, Callable[[int, random.Random, Dict[str, object]], Sequence[int]]
 ] = {
@@ -200,16 +164,6 @@ def _params(pairs) -> Dict[str, object]:
 def available_input_kinds() -> List[str]:
     """Sorted workload names accepted by :func:`build_inputs`."""
     return sorted(_INPUTS)
-
-
-def available_fast_adversaries() -> List[str]:
-    """Sorted adversary names usable with the fast engine."""
-    return sorted(_FAST_ADVERSARIES)
-
-
-def available_batch_adversaries() -> List[str]:
-    """Sorted adversary names usable with the batch engine."""
-    return sorted(_BATCH_ADVERSARIES)
 
 
 def build_protocol(spec: TrialSpec) -> object:
@@ -274,7 +228,7 @@ def build_fast_adversary(spec: TrialSpec) -> FastAdversary:
             "requires an engine='fast' spec"
         )
     try:
-        factory = _FAST_ADVERSARIES[spec.adversary]
+        factory = FAST_ADVERSARIES[spec.adversary]
     except KeyError:
         raise ConfigurationError(
             f"adversary {spec.adversary!r} has no fast-engine "
@@ -283,19 +237,34 @@ def build_fast_adversary(spec: TrialSpec) -> FastAdversary:
     return factory(spec.t, _params(spec.adversary_params))
 
 
-def build_batch_adversary(spec: TrialSpec) -> BatchFastAdversary:
-    """A fresh batch-engine adversary for ``spec``."""
-    if spec.engine != ENGINE_BATCH:
+def build_batch_adversary(
+    spec: TrialSpec,
+) -> "BatchFastAdversary | Batch2DAdversary":
+    """A fresh batch-engine adversary for ``spec``.
+
+    Serves both vectorized engine kinds: an ``engine="batch"`` spec
+    resolves through the 1-D counts table, an ``engine="batch2d"`` spec
+    through the two-axis table (a name-superset — every counts
+    adversary lifts, plus mask-native entries like ``partition``).
+    """
+    if spec.engine == ENGINE_BATCH:
+        table, available = BATCH_ADVERSARIES, available_batch_adversaries
+    elif spec.engine == ENGINE_BATCH2D:
+        table, available = (
+            BATCH2D_ADVERSARIES,
+            available_batch2d_adversaries,
+        )
+    else:
         raise ConfigurationError(
             f"spec engine is {spec.engine!r}; build_batch_adversary "
-            "requires an engine='batch' spec"
+            "requires an engine='batch' or engine='batch2d' spec"
         )
     try:
-        factory = _BATCH_ADVERSARIES[spec.adversary]
+        factory = table[spec.adversary]
     except KeyError:
         raise ConfigurationError(
-            f"adversary {spec.adversary!r} has no batch-engine "
-            f"implementation; available: {available_batch_adversaries()}"
+            f"adversary {spec.adversary!r} has no {spec.engine}-engine "
+            f"implementation; available: {available()}"
         ) from None
     return factory(spec.t, _params(spec.adversary_params))
 

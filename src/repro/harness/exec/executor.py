@@ -43,6 +43,7 @@ from repro.errors import ConfigurationError
 from repro.harness.exec.cache import ResultCache
 from repro.harness.exec.spec import (
     ENGINE_BATCH,
+    ENGINE_BATCH2D,
     ExecutionPlan,
     TrialBatch,
     TrialSpec,
@@ -91,7 +92,7 @@ def _run_chunk(
     depend on it.
     """
     inject_chunk_faults(indices, attempt)
-    if spec.engine == ENGINE_BATCH:
+    if spec.engine in (ENGINE_BATCH, ENGINE_BATCH2D):
         return run_spec_batch(spec, indices, base_seed)
     return [run_spec_trial(spec, i, base_seed) for i in indices]
 

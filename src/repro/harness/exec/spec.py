@@ -43,6 +43,7 @@ from repro.errors import ConfigurationError
 
 __all__ = [
     "ENGINE_BATCH",
+    "ENGINE_BATCH2D",
     "ENGINE_FAST",
     "ENGINE_KINDS",
     "ENGINE_REFERENCE",
@@ -57,7 +58,8 @@ __all__ = [
 ENGINE_REFERENCE = "reference"
 ENGINE_FAST = "fast"
 ENGINE_BATCH = "batch"
-ENGINE_KINDS = (ENGINE_REFERENCE, ENGINE_FAST, ENGINE_BATCH)
+ENGINE_BATCH2D = "batch2d"
+ENGINE_KINDS = (ENGINE_REFERENCE, ENGINE_FAST, ENGINE_BATCH, ENGINE_BATCH2D)
 
 #: Seed-derivation scope used by the factory-based wrappers
 #: (:func:`repro.harness.runner.run_reference_trials` and friends),

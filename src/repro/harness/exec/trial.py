@@ -28,12 +28,17 @@ from repro.harness.exec.builders import (
     build_inputs,
     build_protocol,
 )
-from repro.harness.exec.spec import ENGINE_BATCH, ENGINE_FAST, TrialSpec
-from repro.sim.batch import BatchFastEngine
+from repro.harness.exec.spec import (
+    ENGINE_BATCH,
+    ENGINE_BATCH2D,
+    ENGINE_FAST,
+    TrialSpec,
+)
 from repro.sim.checks import verify_execution
 from repro.sim.engine import Engine
 from repro.sim.fast import FastEngine
 from repro.sim.model import Verdict
+from repro.sim.registry import BATCH_ENGINES
 
 __all__ = [
     "TrialOutcome",
@@ -231,21 +236,24 @@ def execute_fast_trial(
 def run_spec_batch(
     spec: TrialSpec, trial_indices: Sequence[int], base_seed: int
 ) -> List[TrialOutcome]:
-    """Execute a slice of an ``engine="batch"`` spec's trials at once.
+    """Execute a slice of a vectorized spec's trials at once.
 
     The batch counterpart of :func:`run_spec_trial`: one call advances
-    every listed trial in lockstep through
-    :class:`~repro.sim.batch.BatchFastEngine`.  Per-trial seeds are the
-    same ``(base_seed, spec_hash, trial_index)`` hashes as everywhere
-    else and each trial's randomness is a pure function of its own
-    seed, so outcomes are byte-identical however the indices are
-    chunked across calls or workers — the executor contract the serial
-    and process-pool paths already rely on.
+    every listed trial in lockstep through the engine class the spec's
+    kind selects from :data:`repro.sim.registry.BATCH_ENGINES`
+    (:class:`~repro.sim.batch.BatchFastEngine` for ``engine="batch"``,
+    :class:`~repro.sim.batch2d.Batch2DEngine` for ``engine="batch2d"``).
+    Per-trial seeds are the same ``(base_seed, spec_hash, trial_index)``
+    hashes as everywhere else and each trial's randomness is a pure
+    function of its own seed, so outcomes are byte-identical however
+    the indices are chunked across calls or workers — the executor
+    contract the serial and process-pool paths already rely on.
     """
-    if spec.engine != ENGINE_BATCH:
+    engine_cls = BATCH_ENGINES.get(spec.engine)
+    if engine_cls is None:
         raise ConfigurationError(
             f"spec engine is {spec.engine!r}; run_spec_batch requires "
-            "an engine='batch' spec"
+            f"one of the vectorized kinds {sorted(BATCH_ENGINES)}"
         )
     indices = list(trial_indices)
     if not indices:
@@ -264,7 +272,7 @@ def run_spec_batch(
         ]
     else:
         inputs = build_inputs(spec, random.Random(0))
-    engine = BatchFastEngine(
+    engine = engine_cls(
         build_protocol(spec),
         build_batch_adversary(spec),
         spec.n,
@@ -305,7 +313,7 @@ def run_spec_trial(
     target) a *separate* fresh probe protocol, so no state leaks
     between trials or between the adversary's view and the execution.
     """
-    if spec.engine == ENGINE_BATCH:
+    if spec.engine in (ENGINE_BATCH, ENGINE_BATCH2D):
         return run_spec_batch(spec, [trial_index], base_seed)[0]
     seed = spec.trial_seed(base_seed, trial_index)
     inputs = build_inputs(spec, random.Random(seed ^ _INPUT_STREAM_MASK))

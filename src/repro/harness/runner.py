@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Optional, Sequence
+from typing import Callable, Iterable, List, Optional, Sequence, Union
 
 from repro.analysis.stats import Summary, summarize
 from repro.errors import ConfigurationError
@@ -44,8 +44,10 @@ from repro.harness.exec.trial import (
     execute_fast_trial,
     execute_reference_trial,
 )
-from repro.sim.batch import BatchFastAdversary, BatchFastEngine
+from repro.sim.batch import BatchFastAdversary
+from repro.sim.batch2d import Batch2DAdversary
 from repro.sim.fast import FastAdversary
+from repro.sim.registry import BATCH_ENGINES
 from repro.sim.model import Verdict
 
 __all__ = ["TrialStats", "run_reference_trials", "run_fast_trials"]
@@ -215,18 +217,21 @@ def run_fast_trials(
     trials: int,
     base_seed: int = 0,
     max_rounds: Optional[int] = None,
-    batch: bool = False,
+    batch: Union[bool, str] = False,
 ) -> TrialStats:
     """Run ``trials`` seeded executions on the vectorized engine.
 
-    With ``batch=True`` the trials advance in lockstep through one
-    :class:`~repro.sim.batch.BatchFastEngine` call instead of a Python
-    loop over :class:`~repro.sim.fast.FastEngine` runs;
-    ``adversary_factory`` must then build a
-    :class:`~repro.sim.batch.BatchFastAdversary`.  Per-trial seeds are
-    identical between the two modes (the same ``FACTORY_SCOPE``
-    hashes), so coin-free configurations produce identical outcomes
-    and coin-flipping ones agree in distribution.
+    ``batch`` selects the vectorized path: ``True`` (or ``"batch"``)
+    advances the trials in lockstep through one
+    :class:`~repro.sim.batch.BatchFastEngine` call, ``"batch2d"``
+    through the two-axis :class:`~repro.sim.batch2d.Batch2DEngine`,
+    instead of a Python loop over :class:`~repro.sim.fast.FastEngine`
+    runs; ``adversary_factory`` must then build the matching adversary
+    kind (:class:`~repro.sim.batch.BatchFastAdversary` or
+    :class:`~repro.sim.batch2d.Batch2DAdversary`).  Per-trial seeds are
+    identical between all modes (the same ``FACTORY_SCOPE`` hashes), so
+    coin-free configurations produce identical outcomes and
+    coin-flipping ones agree in distribution.
     """
     if trials < 1:
         raise ConfigurationError(f"trials must be >= 1, got {trials}")
@@ -235,17 +240,30 @@ def run_fast_trials(
         for index in range(trials)
     ]
     if batch:
-        adversary = adversary_factory()
-        if not isinstance(adversary, BatchFastAdversary):
+        engine_kind = ENGINE_BATCH if batch is True else str(batch)
+        engine_cls = BATCH_ENGINES.get(engine_kind)
+        if engine_cls is None:
             raise ConfigurationError(
-                "run_fast_trials(batch=True) needs a BatchFastAdversary "
-                f"factory, got {type(adversary).__name__}"
+                f"unknown batch engine kind {engine_kind!r}; available: "
+                f"{sorted(BATCH_ENGINES)}"
+            )
+        adversary = adversary_factory()
+        expected = (
+            BatchFastAdversary
+            if engine_kind == ENGINE_BATCH
+            else Batch2DAdversary
+        )
+        if not isinstance(adversary, expected):
+            raise ConfigurationError(
+                f"run_fast_trials(batch={engine_kind!r}) needs a "
+                f"{expected.__name__} factory, got "
+                f"{type(adversary).__name__}"
             )
         inputs = [
             inputs_factory(random.Random(seed ^ _INPUT_STREAM_MASK))
             for seed in seeds
         ]
-        engine = BatchFastEngine(
+        engine = engine_cls(
             protocol_factory(),
             adversary,
             n,
@@ -269,7 +287,7 @@ def run_fast_trials(
                     senders_per_round=trial.senders_per_round,
                 )
             )
-        return TrialStats.from_outcomes(outcomes, engine_kind=ENGINE_BATCH)
+        return TrialStats.from_outcomes(outcomes, engine_kind=engine_kind)
     outcomes = []
     for index, seed in zip(range(trials), seeds):
         inputs = inputs_factory(random.Random(seed ^ _INPUT_STREAM_MASK))

@@ -125,13 +125,25 @@ _NUMPY_SEEDABLE = frozenset(
 
 #: Base classes whose concrete descendants REP002 requires registered.
 _REGISTRY_ROOTS = frozenset(
-    {"Adversary", "ConsensusProtocol", "Protocol", "FaultModel"}
+    {
+        "Adversary",
+        "ConsensusProtocol",
+        "Protocol",
+        "FaultModel",
+        "FastAdversary",
+        "BatchFastAdversary",
+        "Batch2DAdversary",
+        "KernelBackend",
+    }
 )
 
 #: Packages REP002/REP003 apply to (matched against path segments).
 _ADVERSARY_DIR = "adversary"
 _PROTOCOL_DIR = "protocols"
 _FAULTMODEL_DIR = "faultmodels"
+#: Additional registry-bearing package covered by REP002 only (REP003's
+#: adversary-module structural checks do not apply to engine code).
+_SIM_DIR = "sim"
 
 _CITE_RE = re.compile(
     r"\b(Lemma|Theorem|Thm|Corollary|Cor)s?\b\.?[\s\-–]+"
@@ -893,7 +905,7 @@ def check_rep002(
     packages: Dict[Path, List[FileContext]] = {}
     for ctx in contexts:
         if ctx.path.parent.name in (
-            _ADVERSARY_DIR, _PROTOCOL_DIR, _FAULTMODEL_DIR
+            _ADVERSARY_DIR, _PROTOCOL_DIR, _FAULTMODEL_DIR, _SIM_DIR
         ):
             packages.setdefault(ctx.path.parent, []).append(ctx)
 

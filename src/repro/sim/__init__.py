@@ -15,7 +15,7 @@ Communication links are perfectly reliable: every message a live (or
 partially-delivering crashing) process sends is delivered in the same
 round.  A process that crashes sends nothing in any later round.
 
-Two engines are provided:
+Four engines are provided:
 
 * :mod:`repro.sim.engine` — the message-level reference engine.  Works
   with any :class:`repro.protocols.base.ConsensusProtocol`, records full
@@ -24,6 +24,16 @@ Two engines are provided:
   protocols (SynRan and its ablations) that scales to tens of thousands
   of processes; cross-checked against the reference engine in the
   integration tests.
+* :mod:`repro.sim.batch` — the trial-axis batch engine: M seeded trials
+  advance in lockstep as ``(M,)`` tally arrays, drawing coins from
+  counter-based hash streams (:mod:`repro.sim.streams`) through a
+  pluggable kernel backend (:mod:`repro.sim.kernels`).
+* :mod:`repro.sim.batch2d` — the two-axis engine: full ``(M, n)``
+  per-process state with mask-level victim selection and per-recipient
+  delivery masks; counts adversaries lift onto it bit-identically.
+
+Engine-family name tables (adversaries, engine kinds, kernel backends)
+live in :mod:`repro.sim.registry`.
 """
 
 from repro.sim.model import (

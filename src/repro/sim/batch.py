@@ -59,12 +59,15 @@ from repro.errors import (
     ConfigurationError,
     TerminationViolation,
 )
+from repro.faultmodels.late import LagRing
+from repro.faultmodels.omission import BatchSuppressionLedger
 from repro.faultmodels.registry import resolve_fault_model
 from repro.protocols.synran import SynRanProtocol
 from repro.sim.engine import default_max_rounds
 from repro.sim.fast import FastResult
+from repro.sim.kernels import KernelBackend, resolve_kernel
 from repro.sim.model import COUNTS_OMISSION, FaultModel
-from repro.sim.streams import binomial, fair_binomial, stream_keys
+from repro.sim.streams import binomial, stream_keys
 
 __all__ = [
     "BatchBenign",
@@ -75,6 +78,7 @@ __all__ = [
     "BatchRandomCrash",
     "BatchResult",
     "BatchTallyAttack",
+    "BatchValencyKeeper",
 ]
 
 #: Integer stage codes (``stage`` array values); order matches the
@@ -361,6 +365,97 @@ class BatchTallyAttack(BatchFastAdversary):
         return (k1, k0)
 
 
+class BatchValencyKeeper(BatchFastAdversary):
+    """Vectorized port of :class:`repro.sim.fast.FastValencyKeeper`.
+
+    Elementwise-identical to
+    :func:`repro.sim.fast.valency_keeper_counts` per trial (the
+    differential suite fuzzes the two against each other): split the
+    1-count into the bivalent coin window when affordable, otherwise
+    shave it below the ``decide_hi`` edge to block the tentative
+    decision, otherwise break STOP stability like the tally attack's
+    bleed.  The branch fall-through structure mirrors the scalar
+    function exactly: an in-window or successfully-split/blocked trial
+    is final; only trials that failed every window branch reach the
+    bleed check.
+    """
+
+    name = "batch-valency-keeper"
+
+    def __init__(
+        self,
+        t: int,
+        *,
+        propose_lo: float = 0.5,
+        propose_hi: float = 0.6,
+        decide_hi: float = 0.7,
+        stop_fraction: float = 0.1,
+    ) -> None:
+        super().__init__(t)
+        if not 0.0 < propose_lo < propose_hi < decide_hi < 1.0:
+            raise ConfigurationError(
+                f"need 0 < propose_lo < propose_hi < decide_hi < 1, got "
+                f"{propose_lo}, {propose_hi}, {decide_hi}"
+            )
+        self.propose_lo = propose_lo
+        self.propose_hi = propose_hi
+        self.decide_hi = decide_hi
+        self.stop_fraction = stop_fraction
+
+    def choose(self, view: BatchFastView) -> Tuple[np.ndarray, np.ndarray]:
+        M = view.senders.shape[0]
+        k1 = np.zeros(M, dtype=np.int64)
+        k0 = np.zeros(M, dtype=np.int64)
+        budget = view.budget_remaining
+        p = view.senders
+        eligible = (
+            (budget > 0)
+            & (view.stage == STAGE_PROBABILISTIC)
+            & (p >= deterministic_stage_threshold(view.n))
+        )
+        if not eligible.any():
+            return (k1, k0)
+
+        r = view.round_index
+        prev = view.received_count(r - 1)
+        window_hi = np.floor(self.propose_hi * prev).astype(np.int64)
+        window_lo = np.floor(self.propose_lo * prev).astype(np.int64) + 1
+        considered = (
+            eligible
+            & (view.zeros > 0)
+            & (window_lo <= window_hi)
+            & (view.ones >= window_lo)
+        )
+        in_window = considered & (view.ones <= window_hi)
+        excess = view.ones - window_hi
+        split = considered & ~in_window & (excess <= budget)
+        k1[split] = excess[split]
+        edge = np.floor(self.decide_hi * prev).astype(np.int64)
+        kblk = view.ones - edge
+        block = (
+            considered
+            & ~in_window
+            & ~split
+            & (view.ones > edge)
+            & (kblk <= budget)
+            & (kblk < p)
+        )
+        k1[block] = kblk[block]
+
+        fall_through = eligible & ~in_window & ~split & ~block
+        bleed = fall_through & (view.tentative > 0)
+        if bleed.any():
+            n3 = view.received_count(r - 3)
+            n2 = view.received_count(r - 2)
+            bound = n3 - n2 * self.stop_fraction
+            k = np.floor(p - bound).astype(np.int64) + 1
+            bleed &= (p >= bound) & (k <= budget) & (k < p)
+            kb0 = np.minimum(k, view.zeros)
+            k0[bleed] = kb0[bleed]
+            k1[bleed] = (k - kb0)[bleed]
+        return (k1, k0)
+
+
 @dataclass
 class BatchResult:
     """Outcome of one batched execution: trial-indexed arrays.
@@ -430,6 +525,11 @@ class BatchFastEngine:
             round (budget = per-round suppression high-water mark),
             positive ``lag`` serves the adversary a stale view.  Models
             without a counts realisation are rejected.
+        kernel: Inner-step kernel backend (name, instance, or ``None``
+            for the environment default) — see
+            :mod:`repro.sim.kernels`.  A pure performance knob: every
+            backend is bit-identical, so it never appears in spec
+            hashes or cache keys.
 
     There is no ``sanitizer`` knob: the batch engine keeps no
     per-process state for the sanitizer to audit.  Seeds are passed to
@@ -446,6 +546,7 @@ class BatchFastEngine:
         max_rounds: Optional[int] = None,
         strict_termination: bool = True,
         fault_model: Union[str, FaultModel, None] = None,
+        kernel: Union[str, KernelBackend, None] = None,
     ) -> None:
         if not isinstance(protocol, SynRanProtocol):
             raise ConfigurationError(
@@ -472,6 +573,7 @@ class BatchFastEngine:
                 "counts-level realisation (counts_kind is None); use "
                 "the reference engine"
             )
+        self.kernel: KernelBackend = resolve_kernel(kernel)
 
     # ------------------------------------------------------------------
 
@@ -560,12 +662,13 @@ class BatchFastEngine:
         crashes_hist: List[np.ndarray] = []
         senders_hist: List[np.ndarray] = []
         omission = self.fault_model.counts_kind == COUNTS_OMISSION
+        ledger = BatchSuppressionLedger(t, M) if omission else None
         lag = self.fault_model.lag
         # With a lagged adversary, per-round count snapshots are kept so
         # round r can be served the self-consistent view of round r-lag.
-        snapshots: List[
+        ring: LagRing[
             Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]
-        ] = []
+        ] = LagRing(lag)
 
         def received(j: int) -> np.ndarray:
             return np.full(M, n, dtype=np.int64) if j < 0 else hist[j]
@@ -601,7 +704,7 @@ class BatchFastEngine:
                 active=active,
             )
             if lag:
-                snapshots.append(
+                ring.push(
                     (
                         stage.copy(),
                         p.copy(),
@@ -610,8 +713,8 @@ class BatchFastEngine:
                         np.where(tent, p, 0),
                     )
                 )
-                j = max(0, r - lag)
-                s_stage, s_p, s_ones, s_zeros, s_tent = snapshots[j]
+                j = ring.stale_round(r)
+                s_stage, s_p, s_ones, s_zeros, s_tent = ring.stale(r)
                 adv_view = BatchFastView(
                     round_index=j,
                     n=n,
@@ -647,14 +750,8 @@ class BatchFastEngine:
                 # Budget = high-water mark of per-round suppression: a
                 # lower bound on distinct omission-faulty processes
                 # (pids are anonymous at counts level).
-                budget_used = np.maximum(budget_used, k1 + k0)
-                if (budget_used > t).any():
-                    i = int(np.flatnonzero(budget_used > t)[0])
-                    raise BudgetExceededError(
-                        f"batch adversary suppressed "
-                        f"{int(budget_used[i])} senders in one round of "
-                        f"trial {i}; distinct-faulty budget is {t}"
-                    )
+                ledger.charge(k1 + k0)
+                budget_used = ledger.used
             else:
                 budget_used = budget_used + k1 + k0
                 if (budget_used > t).any():
@@ -732,7 +829,7 @@ class BatchFastEngine:
                 zeros[to_zero] = pop[to_zero]
                 tent[b_dec1 | b_dec0] = True
                 if coin.any():
-                    heads = fair_binomial(
+                    heads = self.kernel.fair_binomial(
                         coin_keys,
                         r * coin_stride,
                         np.where(coin, pop, 0),

@@ -46,8 +46,10 @@ __all__ = [
     "FastRandomCrash",
     "FastResult",
     "FastTallyAttack",
+    "FastValencyKeeper",
     "FastView",
     "FastEngine",
+    "valency_keeper_counts",
 ]
 
 
@@ -266,6 +268,127 @@ class FastTallyAttack(FastAdversary):
         k0 = min(k, view.zeros)
         k1 = k - k0
         return (k1, k0)
+
+
+def valency_keeper_counts(
+    ones: int,
+    zeros: int,
+    senders: int,
+    tentative: int,
+    budget: int,
+    n: int,
+    prev: int,
+    n2: int,
+    n3: int,
+    *,
+    propose_lo: float = 0.5,
+    propose_hi: float = 0.6,
+    decide_hi: float = 0.7,
+    stop_fraction: float = 0.1,
+) -> Tuple[int, int]:
+    """One valency-keeper decision over uniform-view counts.
+
+    The counts-level port of :class:`repro.adversary.lowerbound.
+    ExactValencyAdversary`'s *strategy* (keep both outcomes reachable,
+    block imminent decisions) without its expectimax search, so it
+    scales to arbitrary ``n``.  Branches, in order:
+
+    1. **Split to the coin window** — if both bit classes are live and
+       the bivalent window ``(propose_lo*prev, propose_hi*prev]`` is
+       reachable, trim the 1-count into it (a round that ends in a
+       coin flip is maximally bivalent and costs nothing extra when
+       the count is already inside).
+    2. **Block the tentative decide** — if the window is unaffordable
+       but the 1-count sits above the ``decide_hi`` edge, kill just
+       enough 1-senders to drop below it: the round degrades to a
+       propose, not a decision.  (This branch is what distinguishes
+       the keeper from the tally attack, which concedes here.)
+    3. **Break STOP stability** — identical economics to the tally
+       attack's bleed: if tentative deciders would pass the STOP check,
+       kill the minimum count that re-destabilises it, zeros first.
+
+    Shared by the scalar :class:`FastValencyKeeper` and the vectorized
+    :class:`repro.sim.batch.BatchValencyKeeper`, whose elementwise
+    agreement with this function is differential-tested.  All arguments
+    are plain integers (``prev``/``n2``/``n3`` are ``N^{r-1}``/
+    ``N^{r-2}``/``N^{r-3}`` with the ``N^{<0} = n`` convention);
+    callers are responsible for the stage gate.
+    """
+    if budget <= 0 or senders < deterministic_stage_threshold(n):
+        return (0, 0)
+    window_hi = math.floor(propose_hi * prev)
+    window_lo = math.floor(propose_lo * prev) + 1
+    if zeros > 0 and window_lo <= window_hi and ones >= window_lo:
+        if ones <= window_hi:
+            return (0, 0)  # already in the bivalent coin window; free
+        excess = ones - window_hi
+        if excess <= budget:
+            return (excess, 0)
+        edge = math.floor(decide_hi * prev)
+        k = ones - edge
+        if ones > edge and k <= budget and k < senders:
+            return (k, 0)
+    if tentative > 0:
+        bound = n3 - n2 * stop_fraction
+        if senders >= bound:
+            k = math.floor(senders - bound) + 1
+            if k <= budget and k < senders:
+                k0 = min(k, zeros)
+                return (k - k0, k0)
+    return (0, 0)
+
+
+class FastValencyKeeper(FastAdversary):
+    """Scalar valency keeper: the tractable port of the exact-valency
+    adversary's strategy (see :func:`valency_keeper_counts`).
+
+    Deterministic and full-information, like
+    :class:`repro.adversary.lowerbound.ExactValencyAdversary`, but
+    decided by closed-form count thresholds instead of expectimax over
+    the reachable tree — usable at ``n`` in the thousands.
+    """
+
+    name = "fast-valency-keeper"
+
+    def __init__(
+        self,
+        t: int,
+        *,
+        propose_lo: float = 0.5,
+        propose_hi: float = 0.6,
+        decide_hi: float = 0.7,
+        stop_fraction: float = 0.1,
+    ) -> None:
+        super().__init__(t)
+        if not 0.0 < propose_lo < propose_hi < decide_hi < 1.0:
+            raise ConfigurationError(
+                f"need 0 < propose_lo < propose_hi < decide_hi < 1, got "
+                f"{propose_lo}, {propose_hi}, {decide_hi}"
+            )
+        self.propose_lo = propose_lo
+        self.propose_hi = propose_hi
+        self.decide_hi = decide_hi
+        self.stop_fraction = stop_fraction
+
+    def choose(self, view: FastView) -> Tuple[int, int]:
+        if view.stage != Stage.PROBABILISTIC:
+            return (0, 0)
+        r = view.round_index
+        return valency_keeper_counts(
+            view.ones,
+            view.zeros,
+            view.senders,
+            view.tentative,
+            view.budget_remaining,
+            view.n,
+            view.received_count(r - 1),
+            view.received_count(r - 2),
+            view.received_count(r - 3),
+            propose_lo=self.propose_lo,
+            propose_hi=self.propose_hi,
+            decide_hi=self.decide_hi,
+            stop_fraction=self.stop_fraction,
+        )
 
 
 @dataclass

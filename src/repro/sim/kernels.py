@@ -1,0 +1,206 @@
+"""Pluggable kernel backends for the batch engines' inner round step.
+
+The batch engines spend their per-round budget in a handful of hot
+array operations, and the hottest of those at large ``n`` is the fair
+coin draw: ``ceil(n / 64)`` hashed words per trial, masked and
+popcounted (:func:`repro.sim.streams.fair_binomial`).  This module
+makes that inner step a *registry entry* so an optional JIT build can
+replace it without touching engine code, spec hashes, or seed streams:
+
+* ``numpy`` — the default and the CI path: delegates straight to
+  :mod:`repro.sim.streams`.  Always available.
+* ``numba`` — an ``@njit``-compiled loop over the same SplitMix64
+  recurrence, byte-identical to the numpy path by construction (the
+  differential suite asserts equality word-for-word).  Available only
+  when numba is importable; selecting it without numba installed is a
+  configuration error, never a silent fallback.
+
+A kernel backend is a pure performance knob: it is **not** a
+:class:`~repro.harness.exec.spec.TrialSpec` field, does not enter
+``spec_hash`` or cache keys, and must never change a single sampled
+bit.  Selection is per engine instance (the ``kernel=`` constructor
+argument) with an environment override, ``REPRO_KERNEL``, that the CLI
+``--kernel`` flag sets so process-pool workers inherit the choice.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from typing import Dict, Type, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sim.streams import fair_binomial as _numpy_fair_binomial
+
+__all__ = [
+    "KERNEL_BACKENDS",
+    "KERNEL_ENV",
+    "KernelBackend",
+    "NumbaKernel",
+    "NumpyKernel",
+    "available_kernels",
+    "resolve_kernel",
+]
+
+#: Environment variable naming the default kernel backend; the CLI's
+#: ``--kernel`` flag exports it so worker processes agree with the
+#: parent.  Empty/unset means ``"numpy"``.
+KERNEL_ENV = "REPRO_KERNEL"
+
+
+class KernelBackend(abc.ABC):
+    """One implementation of the batch engines' hot inner ops.
+
+    Every backend must produce **bit-identical** results to the
+    reference numpy path — backends trade compilation and dispatch
+    strategy, never sampled values.
+    """
+
+    name: str = "abstract-kernel"
+
+    @abc.abstractmethod
+    def available(self) -> bool:
+        """Whether this backend can run in the current environment."""
+
+    @abc.abstractmethod
+    def fair_binomial(
+        self, keys: np.ndarray, counter: int, counts: np.ndarray
+    ) -> np.ndarray:
+        """Exact ``Binomial(counts[i], 1/2)`` per trial; must equal
+        :func:`repro.sim.streams.fair_binomial` word for word."""
+
+
+class NumpyKernel(KernelBackend):
+    """The default backend: pure-numpy :mod:`repro.sim.streams`."""
+
+    name = "numpy"
+
+    def available(self) -> bool:
+        return True
+
+    def fair_binomial(
+        self, keys: np.ndarray, counter: int, counts: np.ndarray
+    ) -> np.ndarray:
+        return _numpy_fair_binomial(keys, counter, counts)
+
+
+class NumbaKernel(KernelBackend):
+    """JIT-compiled inner loop; requires numba at selection time.
+
+    Compiles lazily on first use (so merely constructing the backend —
+    e.g. while listing registry entries — never imports numba) and
+    caches the compiled function on the instance.  The kernel walks the
+    same SplitMix64 recurrence as :func:`repro.sim.streams.counter_words`
+    with a SWAR popcount, masking the last word to the low remainder
+    bits exactly as the numpy path does.
+    """
+
+    name = "numba"
+
+    def __init__(self) -> None:
+        self._compiled = None
+
+    def available(self) -> bool:
+        try:
+            import numba  # noqa: F401
+        except ImportError:
+            return False
+        return True
+
+    def fair_binomial(
+        self, keys: np.ndarray, counter: int, counts: np.ndarray
+    ) -> np.ndarray:
+        if counter < 0:
+            raise ConfigurationError(f"counter must be >= 0, got {counter}")
+        fn = self._ensure_compiled()
+        counts64 = np.ascontiguousarray(np.asarray(counts, dtype=np.int64))
+        keys64 = np.ascontiguousarray(np.asarray(keys, dtype=np.uint64))
+        return fn(keys64, np.uint64(counter), counts64)
+
+    def _ensure_compiled(self):
+        if self._compiled is None:
+            import numba
+
+            @numba.njit(cache=False)
+            def _fair_binomial_jit(keys, counter, counts):  # pragma: no cover
+                gamma = np.uint64(0x9E3779B97F4A7C15)
+                m1 = np.uint64(0xBF58476D1CE4E5B9)
+                m2 = np.uint64(0x94D049BB133111EB)
+                c5 = np.uint64(0x5555555555555555)
+                c3 = np.uint64(0x3333333333333333)
+                c0f = np.uint64(0x0F0F0F0F0F0F0F0F)
+                c01 = np.uint64(0x0101010101010101)
+                u1 = np.uint64(1)
+                out = np.zeros(counts.shape[0], dtype=np.int64)
+                for i in range(keys.shape[0]):
+                    remaining = counts[i]
+                    acc = np.int64(0)
+                    j = np.uint64(0)
+                    while remaining > 0:
+                        z = keys[i] + (counter + j) * gamma
+                        z = (z ^ (z >> np.uint64(30))) * m1
+                        z = (z ^ (z >> np.uint64(27))) * m2
+                        z = z ^ (z >> np.uint64(31))
+                        if remaining < 64:
+                            z = z & ((u1 << np.uint64(remaining)) - u1)
+                            remaining = 0
+                        else:
+                            remaining -= 64
+                        x = z - ((z >> u1) & c5)
+                        x = (x & c3) + ((x >> np.uint64(2)) & c3)
+                        x = (x + (x >> np.uint64(4))) & c0f
+                        acc += np.int64((x * c01) >> np.uint64(56))
+                        j += u1
+                    out[i] = acc
+                return out
+
+            self._compiled = _fair_binomial_jit
+        return self._compiled
+
+
+#: Kernel-backend registry: name -> backend class.  The batch engines
+#: resolve through :func:`resolve_kernel`; ``numpy`` is the default
+#: and the only backend CI's main legs require.
+KERNEL_BACKENDS: Dict[str, Type[KernelBackend]] = {
+    "numpy": NumpyKernel,
+    "numba": NumbaKernel,
+}
+
+
+def available_kernels() -> Dict[str, bool]:
+    """Name -> availability for every registered kernel backend."""
+    return {
+        name: cls().available() for name, cls in sorted(KERNEL_BACKENDS.items())
+    }
+
+
+def resolve_kernel(
+    kernel: Union[str, KernelBackend, None] = None,
+) -> KernelBackend:
+    """Resolve a kernel selection into a live backend.
+
+    ``None`` consults the :data:`KERNEL_ENV` environment variable and
+    falls back to ``numpy``.  Selecting a registered-but-unavailable
+    backend (e.g. ``numba`` without numba installed) raises — a perf
+    knob that silently degraded would make benchmark numbers lie.
+    """
+    if isinstance(kernel, KernelBackend):
+        return kernel
+    if kernel is None:
+        kernel = os.environ.get(KERNEL_ENV, "").strip() or "numpy"
+    try:
+        backend = KERNEL_BACKENDS[kernel]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown kernel backend {kernel!r}; registered: "
+            f"{sorted(KERNEL_BACKENDS)}"
+        ) from None
+    if not backend.available():
+        raise ConfigurationError(
+            f"kernel backend {kernel!r} is not available in this "
+            "environment (is its JIT dependency installed?); the "
+            "default 'numpy' backend is always available"
+        )
+    return backend

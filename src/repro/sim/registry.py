@@ -1,0 +1,154 @@
+"""Name-based registries for the counts/batch engine family.
+
+The spec layer (:mod:`repro.harness.exec.builders`) constructs live
+objects from names that cross process boundaries; these tables are the
+single source of truth for which names the fast, batch, and two-axis
+batch engines accept.  They live here — next to the classes they name —
+so the ``sim`` package is registry-complete in the REP002 sense: every
+concrete adversary and kernel backend below is reachable from a table,
+and every table key is documented in ``docs/registries.md``.
+
+Three invariants the tables maintain:
+
+* :data:`FAST_ADVERSARIES` and :data:`BATCH_ADVERSARIES` stay
+  name-for-name identical, so flipping a spec between ``engine="fast"``
+  and ``engine="batch"`` never changes which attacks are expressible.
+* :data:`BATCH2D_ADVERSARIES` is a superset of
+  :data:`BATCH_ADVERSARIES`: every counts-level name lifts through
+  :class:`~repro.sim.batch2d.Batch2DCounts` with bit-identical
+  trajectories, and mask-native adversaries (``partition``) extend the
+  table with attacks only the two-axis engine can express.
+* Factories take ``(t, params)`` and return a *fresh* adversary —
+  adversaries are stateful across rounds, so no instance is ever
+  shared between engine constructions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.adversary.oblivious import calibrated_drip_schedule
+from repro.sim.batch import (
+    BatchBenign,
+    BatchFastAdversary,
+    BatchFastEngine,
+    BatchOblivious,
+    BatchRandomCrash,
+    BatchTallyAttack,
+    BatchValencyKeeper,
+)
+from repro.sim.batch2d import (
+    Batch2DAdversary,
+    Batch2DCounts,
+    Batch2DEngine,
+    Batch2DPartition,
+)
+from repro.sim.fast import (
+    FastAdversary,
+    FastBenign,
+    FastOblivious,
+    FastRandomCrash,
+    FastTallyAttack,
+    FastValencyKeeper,
+)
+from repro.sim.kernels import NumbaKernel, NumpyKernel
+
+__all__ = [
+    "BATCH2D_ADVERSARIES",
+    "BATCH_ADVERSARIES",
+    "BATCH_ENGINES",
+    "FAST_ADVERSARIES",
+    "KERNELS",
+    "available_batch2d_adversaries",
+    "available_batch_adversaries",
+    "available_fast_adversaries",
+]
+
+_Params = Dict[str, object]
+
+
+FAST_ADVERSARIES: Dict[str, Callable[[int, _Params], FastAdversary]] = {
+    "benign": lambda t, p: FastBenign(),
+    "random": lambda t, p: FastRandomCrash(t, **{"rate": 0.1, **p}),
+    "tally-attack": lambda t, p: FastTallyAttack(t, **p),
+    "tally-split-only": lambda t, p: FastTallyAttack(
+        t, enable_bleed=False, **p
+    ),
+    "tally-bleed-only": lambda t, p: FastTallyAttack(
+        t, enable_split=False, **p
+    ),
+    "oblivious-calibrated": lambda t, p: FastOblivious.from_schedule(
+        t, calibrated_drip_schedule
+    ),
+    "valency-keeper": lambda t, p: FastValencyKeeper(t, **p),
+}
+
+
+BATCH_ADVERSARIES: Dict[
+    str, Callable[[int, _Params], BatchFastAdversary]
+] = {
+    "benign": lambda t, p: BatchBenign(),
+    "random": lambda t, p: BatchRandomCrash(t, **{"rate": 0.1, **p}),
+    "tally-attack": lambda t, p: BatchTallyAttack(t, **p),
+    "tally-split-only": lambda t, p: BatchTallyAttack(
+        t, enable_bleed=False, **p
+    ),
+    "tally-bleed-only": lambda t, p: BatchTallyAttack(
+        t, enable_split=False, **p
+    ),
+    "oblivious-calibrated": lambda t, p: BatchOblivious.from_schedule(
+        t, calibrated_drip_schedule
+    ),
+    "valency-keeper": lambda t, p: BatchValencyKeeper(t, **p),
+}
+
+
+def _lifted(name: str) -> Callable[[int, _Params], Batch2DAdversary]:
+    def factory(t: int, p: _Params) -> Batch2DAdversary:
+        return Batch2DCounts(BATCH_ADVERSARIES[name](t, p))
+
+    return factory
+
+
+BATCH2D_ADVERSARIES: Dict[
+    str, Callable[[int, _Params], Batch2DAdversary]
+] = {
+    **{name: _lifted(name) for name in BATCH_ADVERSARIES},
+    "partition": lambda t, p: Batch2DPartition(t, **p),
+}
+
+
+#: Engine-kind → vectorized engine class, keyed by ``TrialSpec.engine``
+#: values.  Both constructors share the
+#: ``(protocol, adversary, n, *, max_rounds, strict_termination,
+#: fault_model)`` contract; only the 1-D engine additionally takes the
+#: ``kernel`` knob (the 2-D inner step has no binomial sampling to JIT).
+BATCH_ENGINES: Dict[str, type] = {
+    "batch": BatchFastEngine,
+    "batch2d": Batch2DEngine,
+}
+
+
+#: Kernel-backend names accepted by the 1-D batch engine's ``kernel``
+#: knob (and the ``REPRO_KERNEL`` environment variable).  Mirrors
+#: :data:`repro.sim.kernels.KERNEL_BACKENDS`; both names are pure
+#: performance knobs and never enter spec hashes.
+KERNELS: Dict[str, type] = {
+    "numpy": NumpyKernel,
+    "numba": NumbaKernel,
+}
+
+
+def available_fast_adversaries() -> List[str]:
+    """Sorted adversary names usable with the fast engine."""
+    return sorted(FAST_ADVERSARIES)
+
+
+def available_batch_adversaries() -> List[str]:
+    """Sorted adversary names usable with the 1-D batch engine."""
+    return sorted(BATCH_ADVERSARIES)
+
+
+def available_batch2d_adversaries() -> List[str]:
+    """Sorted adversary names usable with the two-axis engine."""
+    return sorted(BATCH2D_ADVERSARIES)

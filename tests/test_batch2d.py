@@ -1,0 +1,384 @@
+"""Differential + semantic gates for the two-axis (M, n) engine.
+
+Three tiers, matching the engine's parity contract:
+
+* **Exact 1-D/2-D agreement.**  A counts-form adversary lifted via
+  ``Batch2DCounts`` must produce **bit-for-bit** the trajectories of
+  ``BatchFastEngine`` — coin rounds included, because the 2-D engine
+  assigns flip rank ``j`` the ``j``-th bit of the round's word block,
+  the exact bit set ``fair_binomial`` popcounts.  Checked for every
+  ported adversary under every batch-realised fault model (crash,
+  send-omission, late), seed for seed, on coin-flipping mixed inputs.
+
+* **Mask semantics.**  After-send victims with an empty recipient mask
+  are behaviourally identical to silent victims; with a full recipient
+  mask their last message lands everywhere first, which changes the
+  trajectory.  Plus the budget, stray-target, and invalid-counts
+  sanitizers.
+
+* **Budget invariants.**  A Hypothesis property: no adversary/fault
+  combination ever reports ``crashes_used > t`` for any trial.
+
+The kernel-backend registry rides along: the numba kernel must be
+word-identical to the numpy path when numba is importable, and
+selecting it without numba must be a loud configuration error.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import BudgetExceededError, ConfigurationError
+from repro.faultmodels.late import LateFaultModel
+from repro.protocols import SynRanProtocol
+from repro.sim.batch import (
+    BatchBenign,
+    BatchFastEngine,
+    BatchRandomCrash,
+    BatchTallyAttack,
+    BatchValencyKeeper,
+)
+from repro.sim.batch2d import (
+    Batch2DAdversary,
+    Batch2DCounts,
+    Batch2DDecision,
+    Batch2DEngine,
+    Batch2DPartition,
+)
+from repro.sim.kernels import (
+    KERNEL_ENV,
+    NumbaKernel,
+    NumpyKernel,
+    available_kernels,
+    resolve_kernel,
+)
+from repro.sim.streams import fair_binomial, stream_keys
+
+_NUMBA = available_kernels()["numba"]
+
+
+def _mixed_inputs(n):
+    return [i % 2 for i in range(n)]
+
+
+def _assert_results_equal(a, b, label=""):
+    for field in (
+        "rounds",
+        "decision_round",
+        "decision",
+        "crashes_used",
+        "survivors",
+        "terminated",
+        "crashes_per_round",
+        "senders_per_round",
+    ):
+        fa, fb = getattr(a, field), getattr(b, field)
+        assert np.array_equal(fa, fb), f"{label}: {field} diverged"
+
+
+_ADVERSARIES = {
+    "benign": lambda t: BatchBenign(),
+    "random": lambda t: BatchRandomCrash(t, rate=0.1),
+    "tally-attack": lambda t: BatchTallyAttack(t),
+    "valency-keeper": lambda t: BatchValencyKeeper(t),
+}
+
+_FAULT_MODELS = {
+    "crash": None,
+    "send-omission": "send-omission",
+    "late": LateFaultModel(lag=1),
+}
+
+
+class TestExact1D2DAgreement:
+    """Every ported adversary x every batch fault model: the lifted
+    2-D run equals the 1-D run bit-for-bit, coins and histories
+    included."""
+
+    M = 16
+    N = 48
+    T = 16
+
+    @pytest.mark.parametrize("fault", sorted(_FAULT_MODELS))
+    @pytest.mark.parametrize("name", sorted(_ADVERSARIES))
+    def test_lifted_counts_adversary_is_bit_identical(self, name, fault):
+        seeds = list(range(self.M))
+        inputs = _mixed_inputs(self.N)
+        model = _FAULT_MODELS[fault]
+        one_d = BatchFastEngine(
+            SynRanProtocol(),
+            _ADVERSARIES[name](self.T),
+            self.N,
+            fault_model=model,
+            strict_termination=False,
+        ).run(inputs, seeds)
+        two_d = Batch2DEngine(
+            SynRanProtocol(),
+            Batch2DCounts(_ADVERSARIES[name](self.T)),
+            self.N,
+            fault_model=model,
+            strict_termination=False,
+        ).run(inputs, seeds)
+        _assert_results_equal(one_d, two_d, f"{name}/{fault}")
+
+    def test_per_trial_input_matrix(self):
+        # (M, n) inputs: trial i flips the parity of trial 0's vector.
+        seeds = list(range(8))
+        base = np.array(_mixed_inputs(self.N), dtype=np.int8)
+        mat = np.stack([base ^ (i % 2) for i in range(8)])
+        one_d = BatchFastEngine(
+            SynRanProtocol(),
+            BatchTallyAttack(self.T),
+            self.N,
+            strict_termination=False,
+        ).run(mat, seeds)
+        two_d = Batch2DEngine(
+            SynRanProtocol(),
+            Batch2DCounts(BatchTallyAttack(self.T)),
+            self.N,
+            strict_termination=False,
+        ).run(mat, seeds)
+        _assert_results_equal(one_d, two_d, "tally-attack/matrix")
+
+
+# ----------------------------------------------------------------------
+# Mask semantics
+# ----------------------------------------------------------------------
+
+
+class _OneShotMask(Batch2DAdversary):
+    """Round-0 mask injection: ``k`` victims (lowest pids), either
+    silent or after-send with a fixed recipient prefix."""
+
+    name = "test-one-shot-mask"
+
+    def __init__(self, t, k, *, silent, recipient_cut):
+        super().__init__(t)
+        self.k = k
+        self.silent_kind = silent
+        self.recipient_cut = recipient_cut
+
+    def choose(self, view):
+        M, n = view.senders.shape
+        mask = np.zeros((M, n), dtype=bool)
+        if view.round_index == 0:
+            mask[:, : self.k] = view.senders[:, : self.k]
+        if self.silent_kind:
+            return Batch2DDecision.masks(silent=mask)
+        recipients = np.zeros((M, n), dtype=bool)
+        recipients[:, : self.recipient_cut] = True
+        return Batch2DDecision.masks(
+            silent=np.zeros((M, n), dtype=bool),
+            after_send=mask,
+            recipients=recipients,
+        )
+
+
+class TestMaskSemantics:
+    N = 16
+    SEEDS = list(range(6))
+
+    def _run(self, adv, n=None):
+        n = n or self.N
+        return Batch2DEngine(
+            SynRanProtocol(), adv, n, strict_termination=False
+        ).run([1] * n, self.SEEDS)
+
+    def test_empty_recipients_equals_silent(self):
+        # An after-send victim nobody hears from is a silent victim.
+        k = 4
+        silent = self._run(_OneShotMask(self.N, k, silent=True, recipient_cut=0))
+        empty = self._run(
+            _OneShotMask(self.N, k, silent=False, recipient_cut=0)
+        )
+        _assert_results_equal(silent, empty, "empty-recipients")
+
+    def test_full_recipients_changes_trajectory(self):
+        # With the mask wide open the victims' last messages land, so
+        # the survivors tally n (not n-k) in round 0 and the run takes
+        # a different path than the silent kill.
+        k = 4
+        silent = self._run(_OneShotMask(self.N, k, silent=True, recipient_cut=0))
+        full = self._run(
+            _OneShotMask(self.N, k, silent=False, recipient_cut=self.N)
+        )
+        assert not np.array_equal(silent.rounds, full.rounds) or not (
+            np.array_equal(silent.decision_round, full.decision_round)
+            and np.array_equal(
+                silent.senders_per_round, full.senders_per_round
+            )
+        )
+        # Both runs crash the same processes, so budgets agree.
+        assert np.array_equal(silent.crashes_used, full.crashes_used)
+        assert (silent.crashes_used == k).all()
+
+    def test_partition_respects_budget_and_decides(self):
+        n, t = 32, 8
+        result = Batch2DEngine(
+            SynRanProtocol(),
+            Batch2DPartition(t),
+            n,
+            strict_termination=False,
+        ).run(_mixed_inputs(n), list(range(12)))
+        assert (result.crashes_used <= t).all()
+        assert result.terminated.all()
+
+    def test_partition_fraction_validated(self):
+        with pytest.raises(ConfigurationError):
+            Batch2DPartition(4, fraction=1.5)
+
+
+class _StrayTargeter(Batch2DAdversary):
+    """Targets pid 0 every round — including after it is dead."""
+
+    name = "test-stray"
+
+    def choose(self, view):
+        M, n = view.senders.shape
+        mask = np.zeros((M, n), dtype=bool)
+        mask[:, 0] = True
+        return Batch2DDecision.masks(silent=mask)
+
+
+class _OverBudget(Batch2DAdversary):
+    """Kills every sender every round, ignoring the budget."""
+
+    name = "test-over-budget"
+
+    def choose(self, view):
+        return Batch2DDecision.masks(silent=view.senders.copy())
+
+
+class _BadCounts(Batch2DAdversary):
+    name = "test-bad-counts"
+
+    def choose(self, view):
+        M = view.sender_count.shape[0]
+        return Batch2DDecision.counts(
+            np.full(M, view.n + 1, dtype=np.int64), np.zeros(M, dtype=np.int64)
+        )
+
+
+class TestSanitizers:
+    def _engine(self, adv, n=12, **kw):
+        return Batch2DEngine(SynRanProtocol(), adv, n, **kw)
+
+    def test_stray_mask_target_rejected(self):
+        with pytest.raises(ConfigurationError, match="non-senders"):
+            self._engine(_StrayTargeter(2)).run([1] * 12, [0, 1])
+
+    def test_over_budget_raises(self):
+        with pytest.raises(BudgetExceededError):
+            self._engine(_OverBudget(2)).run(_mixed_inputs(12), [0, 1])
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ConfigurationError, match="invalid kill counts"):
+            self._engine(_BadCounts(12)).run(_mixed_inputs(12), [0, 1])
+
+    def test_receive_omission_has_no_grid_realisation(self):
+        with pytest.raises(ConfigurationError, match="grid realisation"):
+            self._engine(
+                Batch2DCounts(BatchBenign()),
+                fault_model="receive-omission",
+            )
+
+    def test_bad_input_shapes_rejected(self):
+        engine = self._engine(Batch2DCounts(BatchBenign()))
+        with pytest.raises(ConfigurationError):
+            engine.run([1] * 5, [0])
+        with pytest.raises(ConfigurationError):
+            engine.run(np.ones((3, 12), dtype=np.int8), [0])
+        with pytest.raises(ConfigurationError):
+            engine.run([2] * 12, [0])
+
+
+# ----------------------------------------------------------------------
+# Budget invariant (property-based)
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=4, max_value=40),
+    t_frac=st.floats(min_value=0.0, max_value=1.0),
+    fault=st.sampled_from(sorted(_FAULT_MODELS)),
+    name=st.sampled_from(sorted(_ADVERSARIES) + ["partition"]),
+    seed0=st.integers(min_value=0, max_value=2**32),
+)
+def test_budget_never_exceeds_t(n, t_frac, fault, name, seed0):
+    """2-D kill masks never spend more than ``t`` per trial, under any
+    adversary/fault-model combination the engine accepts."""
+    t = int(round(t_frac * n))
+    if name == "partition":
+        adv = Batch2DPartition(t) if t else Batch2DPartition(0)
+    else:
+        adv = Batch2DCounts(_ADVERSARIES[name](t))
+    result = Batch2DEngine(
+        SynRanProtocol(),
+        adv,
+        n,
+        fault_model=_FAULT_MODELS[fault],
+        strict_termination=False,
+    ).run(_mixed_inputs(n), [seed0, seed0 + 1, seed0 + 2])
+    assert (result.crashes_used <= t).all()
+    assert (result.crashes_used >= 0).all()
+
+
+# ----------------------------------------------------------------------
+# Kernel backends
+# ----------------------------------------------------------------------
+
+
+class TestKernelRegistry:
+    def test_numpy_always_available(self):
+        assert NumpyKernel().available()
+        assert resolve_kernel("numpy").name == "numpy"
+        assert resolve_kernel(None).name == "numpy"
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown kernel"):
+            resolve_kernel("cuda")
+
+    def test_env_var_honoured(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV, "numpy")
+        assert resolve_kernel(None).name == "numpy"
+        monkeypatch.setenv(KERNEL_ENV, "no-such-backend")
+        with pytest.raises(ConfigurationError):
+            resolve_kernel(None)
+
+    def test_instance_passthrough(self):
+        backend = NumpyKernel()
+        assert resolve_kernel(backend) is backend
+
+    @pytest.mark.skipif(_NUMBA, reason="numba installed")
+    def test_numba_unavailable_is_loud(self):
+        with pytest.raises(ConfigurationError, match="not available"):
+            resolve_kernel("numba")
+
+    @pytest.mark.skipif(not _NUMBA, reason="numba not installed")
+    def test_numba_matches_numpy_word_for_word(self):
+        rng = np.random.default_rng(7)
+        keys = stream_keys(rng.integers(0, 2**63, size=64, dtype=np.uint64))
+        counts = rng.integers(0, 500, size=64).astype(np.int64)
+        jit = NumbaKernel()
+        for counter in (0, 1, 17, 4096):
+            assert np.array_equal(
+                jit.fair_binomial(keys, counter, counts),
+                fair_binomial(keys, counter, counts),
+            )
+
+    @pytest.mark.skipif(not _NUMBA, reason="numba not installed")
+    def test_numba_engine_run_is_bit_identical(self):
+        n, t = 64, 32
+        seeds = list(range(12))
+        runs = []
+        for kernel in ("numpy", "numba"):
+            engine = BatchFastEngine(
+                SynRanProtocol(),
+                BatchTallyAttack(t),
+                n,
+                strict_termination=False,
+                kernel=kernel,
+            )
+            runs.append(engine.run(_mixed_inputs(n), seeds))
+        _assert_results_equal(runs[0], runs[1], "kernel")

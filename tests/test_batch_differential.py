@@ -34,6 +34,7 @@ from repro.sim.batch import (
     BatchOblivious,
     BatchRandomCrash,
     BatchTallyAttack,
+    BatchValencyKeeper,
 )
 from repro.sim.fast import (
     FastBenign,
@@ -41,6 +42,7 @@ from repro.sim.fast import (
     FastOblivious,
     FastRandomCrash,
     FastTallyAttack,
+    FastValencyKeeper,
 )
 
 # ----------------------------------------------------------------------
@@ -119,6 +121,26 @@ class TestExactSeedAgreement:
         assert scalar == batch
 
     @pytest.mark.parametrize("bit", [0, 1])
+    def test_valency_keeper_unanimous(self, bit):
+        # The keeper's unanimous-input play is the deterministic
+        # stability bleed — no coin is ever flipped, so the scalar and
+        # batch ports must agree bit-for-bit, round histories included.
+        n = 64
+        t = n // 2
+        inputs = [bit] * n
+        scalar = _scalar_results(
+            lambda: FastValencyKeeper(t), n, inputs, SEEDS
+        )
+        batch = _batch_results(BatchValencyKeeper(t), n, inputs, SEEDS)
+        assert scalar == batch
+        # The port must actually bite: a benign unanimous run decides
+        # in a handful of rounds, the keeper drags it out.
+        benign = _batch_results(BatchBenign(), n, inputs, SEEDS)
+        assert all(
+            kept.rounds > free.rounds for kept, free in zip(batch, benign)
+        )
+
+    @pytest.mark.parametrize("bit", [0, 1])
     def test_oblivious_calibrated_unanimous(self, bit):
         # Crashes but no coins: the oblivious plan is derived from the
         # same per-trial adversary seed in both engines, so full
@@ -163,6 +185,10 @@ _ADVERSARIES = {
     "oblivious-calibrated": (
         lambda t: FastOblivious.from_schedule(t, calibrated_drip_schedule),
         lambda t: BatchOblivious.from_schedule(t, calibrated_drip_schedule),
+    ),
+    "valency-keeper": (
+        lambda t: FastValencyKeeper(t),
+        lambda t: BatchValencyKeeper(t),
     ),
 }
 

@@ -24,11 +24,14 @@ ALL_MODULES = [
     "repro.errors",
     "repro.sim",
     "repro.sim.batch",
+    "repro.sim.batch2d",
     "repro.sim.checks",
     "repro.sim.comm",
     "repro.sim.engine",
     "repro.sim.fast",
+    "repro.sim.kernels",
     "repro.sim.model",
+    "repro.sim.registry",
     "repro.sim.replay",
     "repro.sim.streams",
     "repro.sim.trace",
