@@ -3,7 +3,7 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: lint lint-full replint ruff mypy test bench bench-compare bench-pytest check chaos experiments-quick faults
+.PHONY: lint lint-full replint ruff mypy test bench bench-compare bench-pytest check chaos experiments-quick faults serve-smoke
 
 # Repo-specific static analysis (REP001-REP008, including the
 # interprocedural determinism-taint and spec-payload rules).
@@ -48,6 +48,7 @@ test:
 bench:
 	python benchmarks/bench_batch_engine.py
 	python benchmarks/bench_exec.py
+	python benchmarks/bench_service.py
 
 # Refresh the artifacts, then diff every cell against the baselines
 # committed at HEAD: >30% throughput regression in any named cell
@@ -74,6 +75,15 @@ experiments-quick:
 faults:
 	python -m pytest tests/test_fault_models.py tests/test_fault_differential.py -q
 	python -m repro.harness.experiments --only E14 --workers 2
+
+# Service gates: the sweep server + worker + RemoteExecutor suite,
+# then the real-subprocess smoke — server plus one worker on ephemeral
+# ports, the same small sweep submitted twice (second must coalesce),
+# clean teardown (docs/service.md).  CI runs this as the service-smoke
+# job.
+serve-smoke:
+	python -m pytest tests/test_wire.py tests/test_service.py tests/test_service_resume.py -q
+	python -m repro.service.smoke
 
 # Chaos gates: killed workers, stalled chunks, corrupted cache docs,
 # SIGKILLed mid-batch runs — all byte-identical to fault-free serial

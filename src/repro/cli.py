@@ -14,6 +14,10 @@ Subcommands:
 * ``lint`` — the repo-specific static-analysis pass (REP001–REP008,
   including the interprocedural determinism-taint and spec-payload
   rules; delegates to :mod:`repro.lint`).
+* ``serve`` / ``worker`` / ``submit`` — the sweep service: a job
+  server with spec-hash dedup, the thin chunk-execution worker it can
+  shard onto, and the client that submits a grid and renders results
+  (see ``docs/service.md``).
 
 ``run``, ``sweep``, and ``experiments`` execute through the
 :mod:`repro.harness.exec` core, so they share ``--workers N`` (process
@@ -58,6 +62,7 @@ from repro.faultmodels import available_fault_models
 from repro.harness.exec import (
     ENGINE_KINDS,
     ENGINE_REFERENCE,
+    ExecutionPlan,
     Executor,
     ResultCache,
     TrialBatch,
@@ -390,6 +395,141 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return experiments_main(forwarded)
 
 
+def _serve_forever(app: object, host: str, port: int, role: str) -> None:
+    """Run one service app in the foreground until interrupted.
+
+    Prints the ``<role> serving on http://host:port`` line (flushed)
+    that ``repro.service.smoke`` and the CI smoke job parse to
+    discover ephemeral ports.
+    """
+    import asyncio
+
+    from repro.service.netio import HttpServer
+
+    async def _run() -> None:
+        server = HttpServer(app, host, port)
+        bound = await server.start()
+        print(f"{role} serving on http://{host}:{bound}", flush=True)
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import ServerConfig, SweepServerApp
+
+    config = ServerConfig(
+        cache_dir=args.cache_dir,
+        workers=args.workers,
+        worker_endpoints=tuple(args.worker_endpoint or ()),
+        job_workers=args.job_workers,
+        retries=args.retries,
+        chunk_timeout=args.chunk_timeout,
+        request_timeout=args.request_timeout,
+    )
+    service = SweepServerApp(config)
+    try:
+        _serve_forever(service.app, args.host, args.port, "sweep server")
+    finally:
+        service.close()
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.service.worker import WorkerApp
+
+    fault_plan = FaultPlan.load(args.chaos) if args.chaos else None
+    worker = WorkerApp(processes=args.processes, fault_plan=fault_plan)
+    try:
+        _serve_forever(worker.app, args.host, args.port, "worker")
+    finally:
+        worker.close()
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient
+
+    protocols = [p for p in args.protocols.split(",") if p]
+    adversaries = [a for a in args.adversaries.split(",") if a]
+    ns = [int(n) for n in args.ns.split(",") if n]
+    batches = []
+    for protocol in protocols:
+        for adversary in adversaries:
+            for n in ns:
+                spec = TrialSpec(
+                    protocol=protocol,
+                    adversary=adversary,
+                    n=n,
+                    t=max(0, min(n, int(n * args.t_frac))),
+                    inputs=args.inputs,
+                    engine=args.engine,
+                    fault_model=args.fault_model,
+                    fault_model_params=_fault_model_params(args),
+                )
+                batches.append(
+                    TrialBatch(
+                        spec=spec,
+                        trials=args.trials,
+                        base_seed=args.seed,
+                        label=f"{protocol}/{adversary}/n{n}",
+                    )
+                )
+    plan = ExecutionPlan(batches=tuple(batches))
+    client = ServiceClient(args.server)
+    receipt = client.submit(plan, label=args.label)
+    print(
+        f"job {receipt.job_id} "
+        f"({'coalesced' if receipt.coalesced else 'new'}), "
+        f"{receipt.total_trials} trials"
+    )
+    if args.no_wait:
+        return 0
+    if args.follow:
+        final = None
+        for event in client.events(receipt.job_id):
+            progress = event["progress"]
+            print(
+                f"[{event['state']}] "
+                f"{progress['completed_trials']}/"
+                f"{progress['total_trials']} trials, "
+                f"batch {progress['completed_batches']}/"
+                f"{progress['total_batches']}",
+                flush=True,
+            )
+            final = event
+        if final is None:
+            print("error: event stream ended early", file=sys.stderr)
+            return 1
+    else:
+        final = client.wait(receipt.job_id, timeout=args.timeout)
+    if final["state"] != "done":
+        print(f"error: job failed: {final.get('error')}", file=sys.stderr)
+        return 1
+    table = Table(
+        title=f"job {receipt.job_id}: {len(final['results'])} batch(es)",
+        columns=["batch", "trials", "mean rounds", "timeouts", "missing"],
+    )
+    for r in final["results"]:
+        table.add_row(
+            r["label"], r["trials"], r["mean_rounds"], r["timeouts"],
+            r["missing_trials"],
+        )
+    cache = final.get("cache", {})
+    table.add_note(
+        f"cache: {cache.get('hits', 0)} batch(es) resumed, "
+        f"{cache.get('misses', 0)} computed"
+    )
+    print(render_table(table))
+    return 0
+
+
 # ----------------------------------------------------------------------
 # parser
 # ----------------------------------------------------------------------
@@ -557,6 +697,76 @@ def build_parser() -> argparse.ArgumentParser:
                      help="result-cache directory (default: .repro-cache)")
     _add_resilience_flags(exp)
     exp.set_defaults(func=_cmd_experiments)
+
+    serve = sub.add_parser(
+        "serve", help="run the sweep server (jobs, dedup, SSE progress)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642,
+                       help="listen port (0 = ephemeral; default: 8642)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="local worker processes per job (1 = serial)")
+    serve.add_argument(
+        "--worker-endpoint", action="append", default=None, metavar="URL",
+        help=(
+            "shard jobs across this remote worker (repeatable; "
+            "overrides --workers)"
+        ),
+    )
+    serve.add_argument("--job-workers", type=int, default=2,
+                       help="jobs executed concurrently (default: 2)")
+    serve.add_argument("--cache-dir", default=None,
+                       help="result-cache directory (default: .repro-cache)")
+    serve.add_argument("--retries", type=int, default=2,
+                       help="retries per failed chunk (default: 2)")
+    serve.add_argument("--chunk-timeout", type=float, default=None,
+                       help="local-pool stall-detector window in seconds")
+    serve.add_argument("--request-timeout", type=float, default=300.0,
+                       help="per worker-request HTTP timeout (default: 300)")
+    serve.set_defaults(func=_cmd_serve)
+
+    worker = sub.add_parser(
+        "worker", help="run a chunk-execution worker for the sweep server"
+    )
+    worker.add_argument("--host", default="127.0.0.1")
+    worker.add_argument("--port", type=int, default=8643,
+                        help="listen port (0 = ephemeral; default: 8643)")
+    worker.add_argument(
+        "--processes", type=int, default=1,
+        help="chunk-execution processes (1 = in the serving process)",
+    )
+    worker.add_argument("--chaos", default=None, metavar="PLAN.json",
+                        help="fault-plan JSON to inject (chaos testing)")
+    worker.set_defaults(func=_cmd_worker)
+
+    submit = sub.add_parser(
+        "submit", help="submit a sweep grid to a running sweep server"
+    )
+    submit.add_argument("--server", default="http://127.0.0.1:8642",
+                        help="sweep-server base URL")
+    submit.add_argument("--label", default="cli-submit")
+    submit.add_argument("--protocols", default="synran",
+                        help="comma-separated protocol names")
+    submit.add_argument("--adversaries", default="benign,tally-attack",
+                        help="comma-separated adversary names")
+    submit.add_argument("--ns", default="16,32",
+                        help="comma-separated system sizes")
+    submit.add_argument("--t-frac", type=float, default=0.5,
+                        help="crash budget as a fraction of n")
+    submit.add_argument("--inputs", choices=available_input_kinds(),
+                        default="worst")
+    submit.add_argument("--engine", choices=ENGINE_KINDS,
+                        default=ENGINE_REFERENCE)
+    submit.add_argument("--trials", type=int, default=5)
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument("--no-wait", action="store_true",
+                        help="print the job id and return immediately")
+    submit.add_argument("--follow", action="store_true",
+                        help="stream SSE progress instead of polling")
+    submit.add_argument("--timeout", type=float, default=600.0,
+                        help="seconds to wait for completion (default: 600)")
+    _add_fault_model_flags(submit)
+    submit.set_defaults(func=_cmd_submit)
 
     lint = sub.add_parser(
         "lint", help="repo-specific static analysis (REP001-REP008)"

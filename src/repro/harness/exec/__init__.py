@@ -50,6 +50,7 @@ from repro.harness.exec.executor import (
     ParallelExecutor,
     SerialExecutor,
     make_executor,
+    run_chunk,
 )
 from repro.harness.exec.spec import (
     ENGINE_BATCH,
@@ -70,6 +71,16 @@ from repro.harness.exec.trial import (
     run_spec_batch,
     run_spec_trial,
 )
+from repro.harness.exec.wire import (
+    WIRE_VERSION,
+    batch_from_wire,
+    batch_to_wire,
+    plan_from_wire,
+    plan_key,
+    plan_to_wire,
+    spec_from_wire,
+    spec_to_wire,
+)
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
@@ -86,8 +97,11 @@ __all__ = [
     "TrialBatch",
     "TrialOutcome",
     "TrialSpec",
+    "WIRE_VERSION",
     "available_batch2d_adversaries",
     "available_batch_adversaries",
+    "batch_from_wire",
+    "batch_to_wire",
     "available_fast_adversaries",
     "available_input_kinds",
     "build_adversary",
@@ -100,7 +114,13 @@ __all__ = [
     "execute_fast_trial",
     "execute_reference_trial",
     "make_executor",
+    "plan_from_wire",
+    "plan_key",
+    "plan_to_wire",
+    "run_chunk",
     "run_spec_batch",
     "run_spec_trial",
+    "spec_from_wire",
     "spec_params",
+    "spec_to_wire",
 ]

@@ -23,10 +23,22 @@ document (batch or chunk) is treated as a miss, never an error.
 Stores are resilient the other way: the first ``OSError`` (read-only
 or full filesystem) degrades the cache to a warned no-op, so a run
 completes uncached rather than crashing.
+
+Concurrency: every document write is an atomic rename, so no reader
+ever observes a torn JSON file — but the *ledger transitions* (a batch
+store compacting the partial directory away, two writers checkpointing
+chunks of the same batch) span several filesystem operations.  Those
+are serialised per batch key through an advisory ``flock`` on a
+sibling ``<key>.lock`` file, so concurrent server-side jobs and a
+local CLI run can share one ``.repro-cache`` safely.  On platforms
+without ``fcntl`` (or when the lock file itself cannot be created) the
+lock degrades to a no-op and the atomic renames remain the only — and
+still torn-write-free — guarantee.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import re
@@ -35,7 +47,12 @@ import tempfile
 import warnings
 from dataclasses import asdict
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+try:  # pragma: no cover - platform probe
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
 
 import repro
 from repro.harness.exec.spec import TrialBatch
@@ -77,6 +94,42 @@ class ResultCache:
         """Where ``batch``'s in-flight chunk ledger lives."""
         key = batch.batch_key()
         return self.root / key[:2] / f"{key}.partial"
+
+    def lock_path(self, batch: TrialBatch) -> Path:
+        """The advisory lock file serialising the batch's writers."""
+        key = batch.batch_key()
+        return self.root / key[:2] / f"{key}.lock"
+
+    @contextlib.contextmanager
+    def _locked(self, batch: TrialBatch) -> Iterator[None]:
+        """Hold the batch's advisory write lock for the block.
+
+        Best effort by design: without ``fcntl`` (or when the lock
+        file cannot be created) the block simply runs unlocked — the
+        atomic renames still rule out torn documents, the lock only
+        serialises multi-step ledger transitions between cooperating
+        processes.
+        """
+        handle = None
+        if fcntl is not None:
+            try:
+                path = self.lock_path(batch)
+                path.parent.mkdir(parents=True, exist_ok=True)
+                handle = open(path, "a+")
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            except OSError:
+                if handle is not None:
+                    handle.close()
+                handle = None
+        try:
+            yield
+        finally:
+            if handle is not None:
+                try:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+                except OSError:
+                    pass
+                handle.close()
 
     def load(self, batch: TrialBatch) -> Optional[List[TrialOutcome]]:
         """The batch's cached outcomes, or ``None`` on any miss.
@@ -142,12 +195,13 @@ class ResultCache:
             ],
         }
         path = self.path_for(batch)
-        try:
-            written = self._write_doc(path, doc)
-        except OSError as exc:
-            self._degrade(exc)
-            return None
-        self.clear_partial(batch)
+        with self._locked(batch):
+            try:
+                written = self._write_doc(path, doc)
+            except OSError as exc:
+                self._degrade(exc)
+                return None
+            self.clear_partial(batch)
         return written
 
     def store_chunk(
@@ -177,11 +231,17 @@ class ResultCache:
             ],
         }
         path = self.partial_dir(batch) / f"chunk-{first:08d}-{last:08d}.json"
-        try:
-            return self._write_doc(path, doc)
-        except OSError as exc:
-            self._degrade(exc)
-            return None
+        with self._locked(batch):
+            if self.load(batch) is not None:
+                # Another writer already completed and compacted the
+                # batch; re-creating ledger state under a finished
+                # document would only leave an orphan directory.
+                return None
+            try:
+                return self._write_doc(path, doc)
+            except OSError as exc:
+                self._degrade(exc)
+                return None
 
     def load_partial(
         self, batch: TrialBatch

@@ -70,10 +70,11 @@ __all__ = [
     "ParallelExecutor",
     "SerialExecutor",
     "make_executor",
+    "run_chunk",
 ]
 
 
-def _run_chunk(
+def run_chunk(
     spec: TrialSpec,
     base_seed: int,
     indices: Sequence[int],
@@ -82,9 +83,12 @@ def _run_chunk(
     """Worker entry point: run a slice of a batch's trial indices.
 
     Module-level (not a closure or bound method) so the process pool
-    can resolve it by import in every worker.  Batch-engine specs
-    advance the whole slice in one vectorized call; per-trial seeds are
-    pure hashes either way, so the two paths chunk identically.
+    can resolve it by import in every worker; the service tier's
+    ``/chunks`` handler (:mod:`repro.service.worker`) executes exactly
+    this function too, which is what makes remote execution
+    byte-identical to local.  Batch-engine specs advance the whole
+    slice in one vectorized call; per-trial seeds are pure hashes
+    either way, so the two paths chunk identically.
 
     ``attempt`` is the chunk's retry ordinal.  It feeds only the chaos
     hook (so injected faults can be transient) — trial outcomes are
@@ -95,6 +99,10 @@ def _run_chunk(
     if spec.engine in (ENGINE_BATCH, ENGINE_BATCH2D):
         return run_spec_batch(spec, indices, base_seed)
     return [run_spec_trial(spec, i, base_seed) for i in indices]
+
+
+#: Backwards-compatible alias (pre-service-tier name).
+_run_chunk = run_chunk
 
 
 def _render_error(exc: BaseException) -> str:
@@ -231,7 +239,7 @@ class Executor:
         attempt = start_attempt
         while True:
             try:
-                outcomes = _run_chunk(
+                outcomes = run_chunk(
                     batch.spec, batch.base_seed, indices, attempt
                 )
             except Exception as exc:
@@ -440,7 +448,7 @@ class ParallelExecutor(Executor):
                         time.sleep(delay)
                 for cid in to_submit:
                     future = pool.submit(
-                        _run_chunk,
+                        run_chunk,
                         batch.spec,
                         batch.base_seed,
                         chunks[cid],

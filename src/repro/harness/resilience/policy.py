@@ -109,8 +109,10 @@ class ChunkFailure:
             trials are missing from the batch's outcomes).
         attempts: How many executions were attempted.
         kind: Failure class — ``"exception"`` (the chunk raised),
-            ``"timeout"`` (no completion within the chunk timeout), or
-            ``"pool"`` (the process pool died while it was in flight).
+            ``"timeout"`` (no completion within the chunk timeout),
+            ``"pool"`` (the process pool died while it was in flight),
+            or ``"worker"`` (a remote worker endpoint failed it; see
+            :class:`repro.service.remote.RemoteExecutor`).
         error: Rendered form of the last error observed.
     """
 

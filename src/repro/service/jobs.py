@@ -1,0 +1,326 @@
+"""Job lifecycle and spec-hash dedup for the sweep server.
+
+A *job* is one submitted :class:`~repro.harness.exec.ExecutionPlan`
+being executed server-side.  The :class:`JobManager` keys every job by
+the plan's content hash (:func:`repro.harness.exec.plan_key`, built
+from the batches' spec hashes and base seeds), which is what makes the
+service multi-tenant for free:
+
+* two clients submitting the same plan while it runs **coalesce** onto
+  the same job — one computation, both poll the same job id;
+* a resubmission after completion is served from the finished job (and
+  would be all cache hits even across a server restart, because the
+  job executes against the shared
+  :class:`~repro.harness.exec.ResultCache` and the spec hash *is* the
+  cache key);
+* two *different* plans can never collide, because any difference in
+  any spec field changes the hash.
+
+Jobs run on a bounded thread pool; each executes its plan through an
+executor built by the server's factory (serial, process-pool, or
+:class:`~repro.service.remote.RemoteExecutor`).  Progress is observed
+at chunk granularity by wrapping the job's cache handle: every chunk
+the executor checkpoints into the ledger bumps the job's progress
+generation, which the SSE endpoint turns into a live event stream.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import threading
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.harness.exec import (
+    ExecutionPlan,
+    Executor,
+    ResultCache,
+    TrialBatch,
+    TrialOutcome,
+    plan_key,
+)
+from repro.harness.runner import TrialStats
+
+__all__ = [
+    "JOB_STATES",
+    "Job",
+    "JobManager",
+]
+
+JOB_QUEUED = "queued"
+JOB_RUNNING = "running"
+JOB_DONE = "done"
+JOB_FAILED = "failed"
+JOB_STATES = (JOB_QUEUED, JOB_RUNNING, JOB_DONE, JOB_FAILED)
+
+#: Characters of the plan key used as the public job id.  The full key
+#: remains the internal identity; 16 hex chars keep URLs readable while
+#: leaving collisions out of practical reach for one server's lifetime.
+_JOB_ID_CHARS = 16
+
+
+class Job:
+    """One submitted plan and everything observable about it."""
+
+    def __init__(self, plan: ExecutionPlan, key: str, label: str) -> None:
+        self.plan = plan
+        self.key = key
+        self.job_id = key[:_JOB_ID_CHARS]
+        self.label = label
+        self.state = JOB_QUEUED
+        self.error: Optional[str] = None
+        self.submissions = 1
+        self.total_trials = plan.total_trials()
+        self.total_batches = len(plan)
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.resilience: Dict[str, Any] = {}
+        self._results: List[Dict[str, Any]] = []
+        self._outcomes: List[Dict[str, Any]] = []
+        self._stats: List[TrialStats] = []
+        self._trials_done = 0  # trials of completed batches
+        self._chunk_trials = 0  # checkpointed trials of the running batch
+        self._generation = 0
+        self._lock = threading.Lock()
+        self._done = threading.Event()
+
+    # -- progress notes (called from the job thread / cache wrapper) --
+
+    def _bump(self) -> None:
+        self._generation += 1
+
+    def note_chunk(self, trials: int) -> None:
+        """A chunk of the in-flight batch was checkpointed."""
+        with self._lock:
+            self._chunk_trials += trials
+            self._bump()
+
+    def note_batch(
+        self,
+        batch: TrialBatch,
+        stats: TrialStats,
+        outcomes: Sequence[TrialOutcome],
+    ) -> None:
+        """One batch of the plan completed."""
+        summary = stats.rounds_summary()
+        with self._lock:
+            self._trials_done += batch.trials
+            self._chunk_trials = 0
+            self._stats.append(stats)
+            self._results.append(
+                {
+                    "label": batch.label,
+                    "batch_key": batch.batch_key(),
+                    "spec_hash": batch.spec.spec_hash(),
+                    "trials": batch.trials,
+                    "mean_rounds": summary.mean,
+                    "min_rounds": summary.minimum,
+                    "max_rounds": summary.maximum,
+                    "timeouts": stats.timeouts,
+                    "missing_trials": stats.missing_trials,
+                    "engine": stats.engine_kind,
+                }
+            )
+            self._outcomes.append(
+                {
+                    "label": batch.label,
+                    "batch_key": batch.batch_key(),
+                    "outcomes": [o.to_jsonable() for o in outcomes],
+                }
+            )
+            self._bump()
+
+    def finish(self, executor: Executor, error: Optional[str]) -> None:
+        with self._lock:
+            self.cache_hits = executor.cache_hits
+            self.cache_misses = executor.cache_misses
+            self.resilience = executor.resilience_summary()
+            self.error = error
+            self.state = JOB_FAILED if error else JOB_DONE
+            self._bump()
+        self._done.set()
+
+    def mark_running(self) -> None:
+        with self._lock:
+            self.state = JOB_RUNNING
+            self._bump()
+
+    # -- observation ---------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        with self._lock:
+            return self._generation
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job settles; True if it did within timeout."""
+        return self._done.wait(timeout)
+
+    def stats(self) -> List[TrialStats]:
+        """The per-batch aggregates of a finished job (in plan order)."""
+        with self._lock:
+            return list(self._stats)
+
+    def status_doc(self) -> Dict[str, Any]:
+        """The JSON document ``GET /jobs/<id>`` serves."""
+        with self._lock:
+            completed = min(
+                self.total_trials, self._trials_done + self._chunk_trials
+            )
+            doc: Dict[str, Any] = {
+                "job_id": self.job_id,
+                "plan_key": self.key,
+                "label": self.label,
+                "state": self.state,
+                "submissions": self.submissions,
+                "generation": self._generation,
+                "progress": {
+                    "total_trials": self.total_trials,
+                    "completed_trials": completed,
+                    "total_batches": self.total_batches,
+                    "completed_batches": len(self._results),
+                },
+                "error": self.error,
+            }
+            if self.state in (JOB_DONE, JOB_FAILED):
+                doc["cache"] = {
+                    "hits": self.cache_hits,
+                    "misses": self.cache_misses,
+                }
+                doc["resilience"] = self.resilience
+            if self.state == JOB_DONE:
+                doc["results"] = list(self._results)
+            return doc
+
+    def outcomes_doc(self) -> Dict[str, Any]:
+        """The full per-trial results of a finished job."""
+        with self._lock:
+            if self.state != JOB_DONE:
+                raise ConfigurationError(
+                    f"job {self.job_id} is {self.state}, not done"
+                )
+            return {
+                "job_id": self.job_id,
+                "plan_key": self.key,
+                "batches": list(self._outcomes),
+            }
+
+
+class _ObservedCache(ResultCache):
+    """A job's cache handle: every chunk checkpoint reports progress.
+
+    Same root (and therefore same documents and advisory locks) as
+    every other handle on the shared cache — only the notification is
+    job-local, so progress observation costs nothing on the storage
+    side and the executor stays completely unaware of the service.
+    """
+
+    def __init__(self, root: Any, job: Job) -> None:
+        super().__init__(root)
+        self._job = job
+
+    def store_chunk(self, batch, indices, outcomes):  # type: ignore[override]
+        path = super().store_chunk(batch, indices, outcomes)
+        self._job.note_chunk(len(indices))
+        return path
+
+
+ExecutorFactory = Callable[[Optional[ResultCache]], Executor]
+
+
+class JobManager:
+    """Owns every job: dedup, scheduling, and lookup.
+
+    Args:
+        executor_factory: Builds the executor a job runs on, given the
+            job's (progress-observing) cache handle.  The server wires
+            this to a serial/parallel/remote executor per its flags.
+        cache_root: Root of the shared result cache, or ``None`` to
+            run jobs uncached (dedup of *in-flight* work still
+            applies; completed plans then recompute on resubmission
+            after the job log is dropped).
+        job_workers: Concurrent jobs executed at once; further jobs
+            queue fairly behind them.
+    """
+
+    def __init__(
+        self,
+        executor_factory: ExecutorFactory,
+        cache_root: Optional[str] = None,
+        job_workers: int = 2,
+    ) -> None:
+        if job_workers < 1:
+            raise ConfigurationError(
+                f"job_workers must be >= 1, got {job_workers}"
+            )
+        self._factory = executor_factory
+        self._cache_root = cache_root
+        self._jobs: Dict[str, Job] = {}
+        self._by_id: Dict[str, Job] = {}
+        self._lock = threading.Lock()
+        self._pool = concurrent.futures.ThreadPoolExecutor(
+            max_workers=job_workers, thread_name_prefix="repro-job"
+        )
+
+    def submit(self, plan: ExecutionPlan, label: str = "") -> Tuple[Job, bool]:
+        """Register ``plan``; returns ``(job, coalesced)``.
+
+        ``coalesced`` is True when an identical plan (same plan key,
+        i.e. identical spec hashes, base seeds, and trial counts in
+        the same order) was already known — in flight or finished —
+        and the caller was attached to it instead of starting a new
+        computation.
+        """
+        key = plan_key(plan)
+        with self._lock:
+            existing = self._jobs.get(key)
+            if existing is not None:
+                existing.submissions += 1
+                return existing, True
+            job = Job(plan, key, label)
+            self._jobs[key] = job
+            self._by_id[job.job_id] = job
+        self._pool.submit(self._run, job)
+        return job, False
+
+    def get(self, job_id: str) -> Optional[Job]:
+        """Look a job up by public id (or full plan key)."""
+        with self._lock:
+            job = self._by_id.get(job_id)
+            if job is None:
+                job = self._jobs.get(job_id)
+            return job
+
+    def jobs(self) -> List[Job]:
+        """Every known job, in insertion order."""
+        with self._lock:
+            return list(self._jobs.values())
+
+    def shutdown(self) -> None:
+        """Stop accepting work and wait for running jobs to settle."""
+        self._pool.shutdown(wait=True)
+
+    # -- execution -----------------------------------------------------
+
+    def _run(self, job: Job) -> None:
+        job.mark_running()
+        cache = (
+            _ObservedCache(self._cache_root, job)
+            if self._cache_root is not None
+            else None
+        )
+        executor = self._factory(cache)
+        error: Optional[str] = None
+        try:
+            with executor:
+                for batch in job.plan:
+                    outcomes = executor.run_outcomes(batch)
+                    stats = TrialStats.from_outcomes(
+                        outcomes,
+                        engine_kind=batch.spec.engine,
+                        expected_trials=batch.trials,
+                    )
+                    job.note_batch(batch, stats, outcomes)
+        except Exception as exc:
+            error = f"{type(exc).__name__}: {exc}"
+        job.finish(executor, error)

@@ -1,0 +1,323 @@
+"""RemoteExecutor: shard a plan's chunks across HTTP worker endpoints.
+
+Implements the existing :class:`~repro.harness.exec.Executor`
+interface, so everything that runs on the serial or process-pool
+executors — sweeps, experiments, the sweep server's jobs — runs
+unchanged across a fleet of :mod:`repro.service.worker` processes.
+
+The determinism contract carries over untouched: a worker executes
+exactly :func:`repro.harness.exec.run_chunk` on the wire-decoded spec,
+per-trial seeds are pure ``(base_seed, spec_hash, trial_index)``
+hashes, and collected outcomes are re-sorted by trial index — so
+remote execution is byte-identical to local at any worker count,
+endpoint assignment, or chunk geometry (the differential gates in
+``tests/test_service.py`` pin this down, faults included).
+
+Failure handling reuses the PR-5 resilience policy wholesale: a chunk
+whose worker fails (connection refused, HTTP 5xx, malformed body) is
+charged an attempt under the :class:`RetryPolicy`'s deterministic
+backoff and re-queued — whichever healthy endpoint pulls it next
+re-runs it — until it succeeds or is quarantined as a
+:class:`~repro.harness.resilience.ChunkFailure` (kind ``"worker"``).  An endpoint that
+fails ``pool_failure_limit`` consecutive times is quarantined the way
+a broken process pool is abandoned; when every endpoint is gone the
+remaining chunks degrade to in-process execution
+(``BatchReport.degraded_to_serial``), mirroring the local pool's
+last-resort behaviour.  Completed chunks are checkpointed into the
+(local) cache ledger, so an interrupted remote run resumes at chunk
+granularity like any other.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.harness.exec import ResultCache, TrialBatch, TrialOutcome
+from repro.harness.exec.executor import Executor, _render_error
+from repro.harness.exec.wire import WIRE_VERSION, spec_to_wire
+from repro.harness.resilience import (
+    BatchReport,
+    ChunkFailure,
+    FaultPlan,
+    RetryPolicy,
+)
+from repro.service.netio import ServiceUnreachable, request_json
+
+__all__ = ["RemoteExecutor", "WorkerEndpoint"]
+
+
+class WorkerEndpoint:
+    """One worker URL plus its health accounting."""
+
+    def __init__(self, url: str) -> None:
+        self.url = url.rstrip("/")
+        self.consecutive_failures = 0
+        self.quarantined = False
+        self.chunks_completed = 0
+
+    def note_success(self) -> None:
+        self.consecutive_failures = 0
+        self.chunks_completed += 1
+
+    def note_failure(self, limit: int) -> bool:
+        """Charge one failure; True if the endpoint just got quarantined."""
+        self.consecutive_failures += 1
+        if not self.quarantined and self.consecutive_failures >= limit:
+            self.quarantined = True
+            return True
+        return False
+
+
+class RemoteExecutor(Executor):
+    """Executor that POSTs chunks to ``/chunks`` worker endpoints.
+
+    Args:
+        endpoints: Worker base URLs (``http://host:port``); at least
+            one.  Chunks are dispatched by one thread per endpoint, so
+            a fleet of N workers executes N chunks concurrently.
+        cache: Optional shared :class:`ResultCache`; completed chunks
+            are checkpointed locally exactly as the other executors do.
+        chunk_size: Trials per worker request (default: split each
+            batch into roughly ``4 * len(endpoints)`` chunks).
+        retry: The shared :class:`RetryPolicy`; ``max_attempts`` and
+            the backoff schedule govern chunk re-dispatch, and
+            ``pool_failure_limit`` doubles as the consecutive-failure
+            threshold that quarantines an endpoint.
+        request_timeout: Per-request HTTP timeout in seconds; a timed
+            out request counts as a worker failure.
+        fault_plan: Optional chaos plan (parent-side corruption hooks,
+            as in the local executors; worker-side faults are injected
+            inside the worker process itself).
+    """
+
+    def __init__(
+        self,
+        endpoints: Sequence[str],
+        *,
+        cache: Optional[ResultCache] = None,
+        chunk_size: Optional[int] = None,
+        retry: Optional[RetryPolicy] = None,
+        request_timeout: float = 300.0,
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> None:
+        super().__init__(cache=cache, retry=retry, fault_plan=fault_plan)
+        urls = [url for url in endpoints if url]
+        if not urls:
+            raise ConfigurationError(
+                "RemoteExecutor needs at least one worker endpoint"
+            )
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigurationError(
+                f"chunk_size must be >= 1, got {chunk_size}"
+            )
+        if request_timeout <= 0:
+            raise ConfigurationError(
+                f"request_timeout must be > 0, got {request_timeout}"
+            )
+        self.endpoints = [WorkerEndpoint(url) for url in urls]
+        self.chunk_size = chunk_size
+        self.request_timeout = request_timeout
+
+    # -- chunk geometry (identical sizing rule to ParallelExecutor) ----
+
+    def _chunk_indices(
+        self, indices: Sequence[int], total: int
+    ) -> List[List[int]]:
+        size = self.chunk_size
+        if size is None:
+            size = max(1, -(-total // (len(self.endpoints) * 4)))
+        ordered = sorted(indices)
+        return [ordered[i : i + size] for i in range(0, len(ordered), size)]
+
+    # -- one worker round trip ----------------------------------------
+
+    def _post_chunk(
+        self,
+        endpoint: WorkerEndpoint,
+        batch: TrialBatch,
+        indices: Sequence[int],
+        attempt: int,
+    ) -> List[TrialOutcome]:
+        """Execute one chunk on ``endpoint``; raises on any defect."""
+        payload = {
+            "wire": WIRE_VERSION,
+            "spec": spec_to_wire(batch.spec),
+            "base_seed": batch.base_seed,
+            "indices": list(indices),
+            "attempt": attempt,
+        }
+        status, doc = request_json(
+            endpoint.url,
+            "POST",
+            "/chunks",
+            payload,
+            timeout=self.request_timeout,
+        )
+        if status != 200:
+            detail = doc.get("error") if isinstance(doc, dict) else doc
+            raise ServiceUnreachable(
+                f"worker {endpoint.url} returned {status}: {detail}"
+            )
+        if not isinstance(doc, dict) or not isinstance(
+            doc.get("outcomes"), list
+        ):
+            raise ServiceUnreachable(
+                f"worker {endpoint.url} returned a malformed chunk document"
+            )
+        outcomes = [
+            TrialOutcome.from_jsonable(rec) for rec in doc["outcomes"]
+        ]
+        if sorted(o.trial_index for o in outcomes) != sorted(indices):
+            raise ServiceUnreachable(
+                f"worker {endpoint.url} returned outcomes for the wrong "
+                "trial indices"
+            )
+        return outcomes
+
+    # -- the scheduler -------------------------------------------------
+
+    def _execute(
+        self, batch: TrialBatch, report: BatchReport
+    ) -> List[TrialOutcome]:
+        salvaged = self._load_partial(batch, report)
+        outcomes = list(salvaged.values())
+        missing = [i for i in range(batch.trials) if i not in salvaged]
+        if not missing:
+            return outcomes
+        chunks = self._chunk_indices(missing, batch.trials)
+        outcomes.extend(self._collect(batch, chunks, report))
+        return outcomes
+
+    def _collect(
+        self,
+        batch: TrialBatch,
+        chunks: List[List[int]],
+        report: BatchReport,
+    ) -> List[TrialOutcome]:
+        """Dispatch chunks across endpoints until done or degraded.
+
+        One dispatcher thread per endpoint pulls chunk ids off a shared
+        queue, so work rebalances onto healthy workers automatically —
+        the same straggler behaviour the local pool's oversized chunk
+        count buys.  All shared state (attempt counts, the report, the
+        endpoint health) is guarded by one lock; the HTTP round trips
+        happen outside it.
+        """
+        retry = self.retry
+        key = batch.batch_key()
+        attempts = [0] * len(chunks)
+        collected: List[TrialOutcome] = []
+        work: "queue.Queue[int]" = queue.Queue()
+        for cid in range(len(chunks)):
+            work.put(cid)
+        state = threading.Lock()
+        outstanding = [len(chunks)]  # chunks not yet collected/quarantined
+
+        def settle_one(collected_outcomes: Optional[List[TrialOutcome]]) -> None:
+            """Mark one chunk finished (collected or quarantined)."""
+            if collected_outcomes is not None:
+                collected.extend(collected_outcomes)
+            outstanding[0] -= 1
+
+        def dispatch(endpoint: WorkerEndpoint) -> None:
+            while True:
+                with state:
+                    if outstanding[0] <= 0:
+                        return
+                    if endpoint.quarantined:
+                        return
+                try:
+                    cid = work.get(timeout=0.05)
+                except queue.Empty:
+                    continue
+                with state:
+                    attempt = attempts[cid]
+                if attempt > 0:
+                    delay = retry.delay(f"{key}:{chunks[cid][0]}", attempt - 1)
+                    if delay > 0:
+                        time.sleep(delay)
+                try:
+                    chunk_outcomes = self._post_chunk(
+                        endpoint, batch, chunks[cid], attempt
+                    )
+                except Exception as exc:
+                    rendered = _render_error(exc)
+                    with state:
+                        endpoint.note_failure(retry.pool_failure_limit)
+                        attempts[cid] += 1
+                        if attempts[cid] >= retry.max_attempts:
+                            report.record_quarantine(
+                                ChunkFailure(
+                                    trial_indices=tuple(chunks[cid]),
+                                    attempts=attempts[cid],
+                                    kind="worker",
+                                    error=rendered,
+                                )
+                            )
+                            settle_one(None)
+                        else:
+                            report.retries += 1
+                            work.put(cid)
+                        if endpoint.quarantined:
+                            return
+                else:
+                    if self.cache is not None:
+                        self.cache.store_chunk(
+                            batch, chunks[cid], chunk_outcomes
+                        )
+                    with state:
+                        endpoint.note_success()
+                        settle_one(chunk_outcomes)
+
+        threads = [
+            threading.Thread(
+                target=dispatch, args=(endpoint,), daemon=True
+            )
+            for endpoint in self.endpoints
+            if not endpoint.quarantined
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        # Every dispatcher exited.  Anything still outstanding means
+        # the whole fleet is quarantined: degrade to in-process
+        # execution rather than lose the batch, exactly like the local
+        # pool after pool_failure_limit consecutive breaks.
+        leftovers: List[int] = []
+        while True:
+            try:
+                leftovers.append(work.get_nowait())
+            except queue.Empty:
+                break
+        if leftovers:
+            report.degraded_to_serial = True
+            for cid in sorted(leftovers):
+                collected.extend(
+                    self._run_with_retry(
+                        batch,
+                        chunks[cid],
+                        report,
+                        checkpoint=True,
+                        start_attempt=attempts[cid],
+                    )
+                )
+                with state:
+                    outstanding[0] -= 1
+        return collected
+
+    def worker_summary(self) -> List[Dict[str, object]]:
+        """Health and throughput per endpoint, for status reporting."""
+        return [
+            {
+                "url": e.url,
+                "quarantined": e.quarantined,
+                "chunks_completed": e.chunks_completed,
+            }
+            for e in self.endpoints
+        ]

@@ -83,6 +83,7 @@ ALL_MODULES = [
     "repro.harness.exec.executor",
     "repro.harness.exec.spec",
     "repro.harness.exec.trial",
+    "repro.harness.exec.wire",
     "repro.harness.experiments",
     "repro.harness.export",
     "repro.harness.report",
@@ -103,6 +104,14 @@ ALL_MODULES = [
     "repro.lint.runner",
     "repro.lint.sanitizer",
     "repro.lint.sarif",
+    "repro.service",
+    "repro.service.client",
+    "repro.service.jobs",
+    "repro.service.netio",
+    "repro.service.remote",
+    "repro.service.server",
+    "repro.service.smoke",
+    "repro.service.worker",
 ]
 
 
