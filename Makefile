@@ -3,7 +3,7 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: lint lint-full replint ruff mypy test bench bench-compare bench-pytest check chaos experiments-quick faults serve-smoke
+.PHONY: lint lint-full replint ruff mypy test bench bench-compare bench-pytest check chaos experiments-quick faults serve-smoke byzantine-smoke
 
 # Repo-specific static analysis (REP001-REP008, including the
 # interprocedural determinism-taint and spec-payload rules).
@@ -84,6 +84,15 @@ faults:
 serve-smoke:
 	python -m pytest tests/test_wire.py tests/test_service.py tests/test_service_resume.py -q
 	python -m repro.service.smoke
+
+# Untrusted-fleet gates: attestation digests, audit re-execution,
+# circuit breakers, and the durable job journal — then the real
+# subprocess smoke with one Byzantine worker behind full audit, whose
+# results must be byte-identical to a fault-free serial run
+# (docs/robustness.md).  CI runs this as the byzantine-smoke job.
+byzantine-smoke:
+	python -m pytest tests/test_byzantine.py -q
+	python -m repro.service.smoke --byzantine
 
 # Chaos gates: killed workers, stalled chunks, corrupted cache docs,
 # SIGKILLed mid-batch runs — all byte-identical to fault-free serial

@@ -12,6 +12,10 @@ sockets on ephemeral ports, no subprocess noise):
   two-worker :class:`RemoteExecutor` fleet and through the local
   two-process :class:`ParallelExecutor`; the gap is the HTTP + JSON
   shipping cost of remoting a chunk.
+* ``remote-2-workers-audited`` — the same fleet with
+  ``audit_fraction=1.0`` (every chunk re-executed locally and checked
+  against the worker's attestation digest): the worst-case overhead
+  of trusting nobody.
 
 Two entry points:
 
@@ -175,6 +179,19 @@ def main(argv=None) -> int:
 
         row, remote = _timed("remote-2-workers", run_remote)
         results.append(row)
+
+        def run_audited():
+            # Same fleet, every chunk re-executed locally and checked
+            # against the worker's attestation digest: the gap to
+            # remote-2-workers is the worst-case price of trusting
+            # nobody (audit_fraction=1.0; production fleets sample).
+            with RemoteExecutor(
+                urls, audit_fraction=1.0, audit_seed="bench"
+            ) as executor:
+                return [executor.run_outcomes(b) for b in plan]
+
+        row, audited = _timed("remote-2-workers-audited", run_audited)
+        results.append(row)
         stop()
 
         def run_parallel():
@@ -209,6 +226,7 @@ def main(argv=None) -> int:
     assert final["state"] == "done"
     assert again.coalesced and again.job_id == first.job_id
     assert remote == parallel
+    assert audited == remote  # full audit changes nothing but time
     assert restarted["state"] == "done"
     assert restarted["cache"] == {"hits": len(plan), "misses": 0}
 

@@ -432,6 +432,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         retries=args.retries,
         chunk_timeout=args.chunk_timeout,
         request_timeout=args.request_timeout,
+        audit_fraction=args.audit_fraction,
+        journal=args.journal,
+        max_jobs=args.max_jobs,
     )
     service = SweepServerApp(config)
     try:
@@ -723,6 +726,27 @@ def build_parser() -> argparse.ArgumentParser:
                        help="local-pool stall-detector window in seconds")
     serve.add_argument("--request-timeout", type=float, default=300.0,
                        help="per worker-request HTTP timeout (default: 300)")
+    serve.add_argument(
+        "--audit-fraction", type=float, default=0.0, metavar="F",
+        help=(
+            "fraction of remote chunks re-executed locally to audit "
+            "worker honesty (default: 0.0; 1.0 = audit everything)"
+        ),
+    )
+    serve.add_argument(
+        "--journal", action="store_true",
+        help=(
+            "keep a durable job journal under the cache root and "
+            "re-admit journaled jobs on restart"
+        ),
+    )
+    serve.add_argument(
+        "--max-jobs", type=int, default=None, metavar="N",
+        help=(
+            "bound the in-memory job table: evict the oldest finished "
+            "job when full, answer 429 when saturated with live jobs"
+        ),
+    )
     serve.set_defaults(func=_cmd_serve)
 
     worker = sub.add_parser(

@@ -18,6 +18,20 @@ missing indices, and on completion the final batch document replaces
 the ledger (which is then removed).  Ledger documents carry the same
 salt and key discipline as batch documents.
 
+Schema v3 makes every stored document *tamper-evident*: batch and
+chunk documents carry a ``digest`` — the canonical content hash of
+their outcomes (:func:`~repro.harness.exec.trial.outcomes_digest`,
+the same attestation digest workers compute in the service tier) —
+and loads recompute and compare it, so an entry whose outcome bytes
+were altered after the fact (a Byzantine worker's checkpoint, bit
+rot, a hand-edited file) reads as a miss instead of poisoning every
+future cache hit.  v2 batch documents written by the previous schema
+upgrade transparently: a load that validates an old document computes
+its digest and rewrites it in place as v3, so a shared cache survives
+the bump without recomputing anything.  (v2 *chunk* documents are
+treated as misses — the ledger is transient scratch state and the
+chunk is simply recomputed.)
+
 Loads are defensive — any malformed, truncated, or mismatched
 document (batch or chunk) is treated as a miss, never an error.
 Stores are resilient the other way: the first ``OSError`` (read-only
@@ -56,22 +70,27 @@ except ImportError:  # pragma: no cover - non-POSIX fallback
 
 import repro
 from repro.harness.exec.spec import TrialBatch
-from repro.harness.exec.trial import TrialOutcome
+from repro.harness.exec.trial import TrialOutcome, outcomes_digest
 
 __all__ = ["CACHE_SCHEMA_VERSION", "DEFAULT_CACHE_DIR", "ResultCache", "cache_salt"]
 
 #: Bumped whenever the stored document layout changes.
 #: v2: partial-batch chunk ledger alongside final batch documents.
-CACHE_SCHEMA_VERSION = 2
+#: v3: tamper-evident outcome digests on batch and chunk documents.
+CACHE_SCHEMA_VERSION = 3
+
+#: The previous schema, whose batch documents upgrade transparently on
+#: load (validated, digested, rewritten as the current schema).
+_UPGRADABLE_SCHEMA_VERSION = 2
 
 DEFAULT_CACHE_DIR = Path(".repro-cache")
 
 _CHUNK_DOC_RE = re.compile(r"^chunk-(\d{8})-(\d{8})\.json$")
 
 
-def cache_salt() -> str:
+def cache_salt(schema: int = CACHE_SCHEMA_VERSION) -> str:
     """The code-version salt stamped into (and required of) every entry."""
-    return f"{repro.__version__}/schema{CACHE_SCHEMA_VERSION}"
+    return f"{repro.__version__}/schema{schema}"
 
 
 class ResultCache:
@@ -135,9 +154,15 @@ class ResultCache:
         """The batch's cached outcomes, or ``None`` on any miss.
 
         A hit requires the schema version, salt, batch key, spec
-        fields, trial count, and base seed all to match, and every
-        outcome record to parse; anything else — including a corrupt or
-        unreadable file — is a miss.
+        fields, trial count, base seed, and outcome digest all to
+        match, and every outcome record to parse; anything else —
+        including a corrupt, tampered, or unreadable file — is a miss.
+
+        A valid document of the previous schema (v2, pre-digest) is
+        accepted and upgraded in place: its digest is computed from
+        the validated outcomes and the document is atomically
+        rewritten as the current schema, so an existing shared cache
+        survives the schema bump without recomputation.
         """
         path = self.path_for(batch)
         try:
@@ -146,9 +171,14 @@ class ResultCache:
         except (OSError, ValueError):
             return None
         try:
-            if doc["schema"] != CACHE_SCHEMA_VERSION:
-                return None
-            if doc["salt"] != cache_salt():
+            schema = doc["schema"]
+            if schema == CACHE_SCHEMA_VERSION:
+                if doc["salt"] != cache_salt():
+                    return None
+            elif schema == _UPGRADABLE_SCHEMA_VERSION:
+                if doc["salt"] != cache_salt(_UPGRADABLE_SCHEMA_VERSION):
+                    return None
+            else:
                 return None
             if doc["batch_key"] != batch.batch_key():
                 return None
@@ -165,7 +195,33 @@ class ResultCache:
         outcomes.sort(key=lambda o: o.trial_index)
         if [o.trial_index for o in outcomes] != list(range(batch.trials)):
             return None
+        digest = outcomes_digest(outcomes)
+        if schema == CACHE_SCHEMA_VERSION:
+            if doc.get("digest") != digest:
+                return None  # tampered or bit-rotted: recompute
+        else:
+            self._upgrade_doc(path, doc, digest)
         return outcomes
+
+    def _upgrade_doc(
+        self, path: Path, doc: Dict[str, Any], digest: str
+    ) -> None:
+        """Rewrite a validated legacy document as the current schema.
+
+        Best effort and lock-free: the write is a single atomic rename
+        (a concurrent writer would produce identical bytes), and a
+        read-only cache simply keeps serving the legacy document — the
+        upgrade is an opportunity, not a requirement, so failures are
+        swallowed rather than degrading the cache.
+        """
+        upgraded = dict(doc)
+        upgraded["schema"] = CACHE_SCHEMA_VERSION
+        upgraded["salt"] = cache_salt()
+        upgraded["digest"] = digest
+        try:
+            self._write_doc(path, upgraded)
+        except OSError:
+            pass
 
     def store(
         self, batch: TrialBatch, outcomes: List[TrialOutcome]
@@ -189,6 +245,7 @@ class ResultCache:
             "trials": batch.trials,
             "base_seed": batch.base_seed,
             "label": batch.label,
+            "digest": outcomes_digest(outcomes),
             "outcomes": [
                 o.to_jsonable()
                 for o in sorted(outcomes, key=lambda o: o.trial_index)
@@ -225,6 +282,7 @@ class ResultCache:
             "salt": cache_salt(),
             "batch_key": batch.batch_key(),
             "indices": sorted(int(i) for i in indices),
+            "digest": outcomes_digest(outcomes),
             "outcomes": [
                 o.to_jsonable()
                 for o in sorted(outcomes, key=lambda o: o.trial_index)
@@ -291,6 +349,24 @@ class ResultCache:
         if directory.is_dir():
             shutil.rmtree(directory, ignore_errors=True)
 
+    def remove_chunk(self, batch: TrialBatch, indices: Sequence[int]) -> None:
+        """Expunge one chunk document from the batch's ledger.
+
+        The audit path calls this to purge checkpoints attributed to an
+        endpoint later proven Byzantine — the span's indices revert to
+        "missing" and are recomputed by whoever resumes the batch.
+        Best effort: an already-absent document is fine.
+        """
+        if not indices:
+            return
+        first, last = min(indices), max(indices)
+        path = self.partial_dir(batch) / f"chunk-{first:08d}-{last:08d}.json"
+        with self._locked(batch):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
     def _load_chunk_doc(
         self, path: Path, batch: TrialBatch
     ) -> Optional[List[TrialOutcome]]:
@@ -319,6 +395,10 @@ class ResultCache:
         if sorted(o.trial_index for o in outcomes) != sorted(indices):
             return None
         if any(not 0 <= o.trial_index < batch.trials for o in outcomes):
+            return None
+        if doc.get("digest") != outcomes_digest(outcomes):
+            # Pre-digest (v2) chunk docs also land here: the ledger is
+            # transient scratch, so the chunk is simply recomputed.
             return None
         return outcomes
 

@@ -156,6 +156,17 @@ class Executor:
             "degraded_to_serial": any(
                 r.degraded_to_serial for r in self.reports
             ),
+            "audited_chunks": sum(r.audited_chunks for r in self.reports),
+            "audit_mismatches": sum(
+                r.audit_mismatches for r in self.reports
+            ),
+            "byzantine_endpoints": sorted(
+                {
+                    url
+                    for r in self.reports
+                    for url in r.byzantine_endpoints
+                }
+            ),
         }
 
     def run_outcomes(self, batch: TrialBatch) -> List[TrialOutcome]:

@@ -15,6 +15,8 @@ depends on which worker computed it or what ran before it.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import random
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
@@ -44,6 +46,7 @@ __all__ = [
     "TrialOutcome",
     "execute_fast_trial",
     "execute_reference_trial",
+    "outcomes_digest",
     "run_spec_batch",
     "run_spec_trial",
 ]
@@ -153,6 +156,28 @@ class TrialOutcome:
             raise ConfigurationError(
                 f"malformed trial-outcome record: {exc}"
             ) from exc
+
+
+def outcomes_digest(outcomes: Sequence[TrialOutcome]) -> str:
+    """Canonical content hash of a set of outcomes (hex sha256).
+
+    The attestation primitive of the service tier: sha256 over the
+    sorted-by-trial-index outcome records serialised as canonical JSON
+    (sorted keys, no whitespace).  Because every outcome is a pure
+    function of ``(base_seed, spec_hash, trial_index)``, any honest
+    party — the worker that computed a chunk, the executor receiving
+    it, an auditor re-executing it later — derives the *same* digest
+    for the same work, so a digest mismatch is proof of corruption or
+    a lie, never of nondeterminism.  Records are canonicalised through
+    ``to_jsonable`` (not raw wire bytes), so cosmetic differences such
+    as key order or extra keys cannot change the digest.
+    """
+    records = [
+        o.to_jsonable()
+        for o in sorted(outcomes, key=lambda o: o.trial_index)
+    ]
+    material = json.dumps(records, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
 
 
 def execute_reference_trial(

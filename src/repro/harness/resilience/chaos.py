@@ -19,6 +19,13 @@ Fault kinds:
   document or a partial-ledger chunk document) is truncated into
   garbage before it is read (exercises corrupt-entry-is-a-miss
   recomputation).
+* ``corrupt-outcomes`` — the chunk computes normally, then the
+  targeted trial's outcome is deterministically falsified (wrong
+  ``rounds``, flipped verdict) *before* it leaves the worker: a
+  Byzantine worker returning well-formed lies.  Only the service
+  worker applies this kind (a lying in-process executor would be
+  indistinguishable from a broken engine); it exercises outcome
+  attestation and audit re-execution.
 
 Activation is via the ``REPRO_CHAOS`` environment variable naming a
 fault-plan JSON file.  An environment variable — rather than live
@@ -39,18 +46,29 @@ chaos runs are as replayable as clean ones.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import os
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Dict, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.errors import ConfigurationError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.harness.exec.cache import ResultCache
     from repro.harness.exec.spec import TrialBatch
+    from repro.harness.exec.trial import TrialOutcome
 
 __all__ = [
     "CHAOS_ENV",
@@ -58,13 +76,14 @@ __all__ = [
     "Fault",
     "FaultPlan",
     "apply_corruption",
+    "corrupt_outcomes",
     "inject_chunk_faults",
 ]
 
 #: Environment variable naming the active fault-plan JSON file.
 CHAOS_ENV = "REPRO_CHAOS"
 
-_FAULT_KINDS = ("kill", "raise", "delay", "corrupt")
+_FAULT_KINDS = ("kill", "raise", "delay", "corrupt", "corrupt-outcomes")
 _CORRUPT_ENTRIES = ("batch", "partial")
 
 #: Filler written over a corrupted document — deliberately not JSON,
@@ -168,12 +187,23 @@ class FaultPlan:
         return tuple(
             f
             for f in self.faults
-            if f.kind != "corrupt" and f.fires(indices, attempt)
+            if f.kind not in ("corrupt", "corrupt-outcomes")
+            and f.fires(indices, attempt)
         )
 
     def corruption_faults(self) -> Tuple[Fault, ...]:
         """The parent-side cache-corruption faults."""
         return tuple(f for f in self.faults if f.kind == "corrupt")
+
+    def outcome_faults(
+        self, indices: Sequence[int], attempt: int
+    ) -> Tuple[Fault, ...]:
+        """The Byzantine outcome-falsification faults for this attempt."""
+        return tuple(
+            f
+            for f in self.faults
+            if f.kind == "corrupt-outcomes" and f.fires(indices, attempt)
+        )
 
     def to_jsonable(self) -> Dict[str, Any]:
         return {"faults": [f.to_jsonable() for f in self.faults]}
@@ -254,6 +284,43 @@ def inject_chunk_faults(
             # process is simply gone — exactly what the pool-rebuild
             # path must survive.
             os._exit(17)
+
+
+def corrupt_outcomes(
+    outcomes: List["TrialOutcome"],
+    indices: Sequence[int],
+    attempt: int,
+    plan: Optional[FaultPlan] = None,
+) -> List["TrialOutcome"]:
+    """Byzantine hook: falsify targeted outcomes of a computed chunk.
+
+    Returns a new list in which each trial targeted by a firing
+    ``corrupt-outcomes`` fault has its ``rounds`` inflated by one and
+    its verdict (when present) negated — records that parse, validate,
+    and store perfectly well, they are just *wrong*.  This is the lie
+    outcome attestation cannot catch on receipt (the digest is computed
+    over the lie) and audit re-execution exists to catch.  With no
+    firing fault the input list is returned unchanged.
+    """
+    if plan is None:
+        plan = FaultPlan.from_env()
+        if plan is None:
+            return outcomes
+    firing = plan.outcome_faults(indices, attempt)
+    if not firing:
+        return outcomes
+    targets = {f.trial for f in firing}
+    falsified = []
+    for outcome in outcomes:
+        if outcome.trial_index in targets:
+            verdict = outcome.verdict
+            if verdict is not None:
+                verdict = dict(verdict, agreement=not verdict["agreement"])
+            outcome = dataclasses.replace(
+                outcome, rounds=outcome.rounds + 1, verdict=verdict
+            )
+        falsified.append(outcome)
+    return falsified
 
 
 def _corrupt(path: Path) -> bool:

@@ -13,8 +13,18 @@ when every attempt is exhausted: the run keeps going (the paper's
 fail-stop model, applied to the harness itself) and the hole is
 reported instead of raised.  :class:`BatchReport` aggregates one
 batch's resilience counters — ``resumed_chunks``, ``retries``,
-``quarantined``, ``pool_rebuilds`` — which executors expose per batch
-via ``Executor.reports``.
+``quarantined``, ``pool_rebuilds``, audit counters — which executors
+expose per batch via ``Executor.reports``.
+
+:class:`CircuitBreaker` is the endpoint-health state machine the
+remote executor runs per worker: *closed* (healthy) opens after a run
+of consecutive failures, an *open* breaker cools down on the same
+deterministic backoff schedule as chunk retries, then *half-opens* to
+admit one probe — success re-closes it, failure re-opens with a longer
+cooldown.  Only a breaker that has opened ``pool_failure_limit`` times
+(or an endpoint proven Byzantine by audit) is permanently out, so a
+transiently-bad worker rejoins the fleet instead of shrinking it to
+degrade-to-serial.
 """
 
 from __future__ import annotations
@@ -28,6 +38,7 @@ from repro.errors import ConfigurationError
 __all__ = [
     "BatchReport",
     "ChunkFailure",
+    "CircuitBreaker",
     "RetryPolicy",
     "backoff_fraction",
 ]
@@ -100,6 +111,121 @@ class RetryPolicy:
         return capped * (0.5 + 0.5 * backoff_fraction(scope, attempt))
 
 
+class CircuitBreaker:
+    """Closed/open/half-open health gate for one failure-prone peer.
+
+    The remote executor keeps one per worker endpoint, owned by that
+    endpoint's single dispatcher thread (so no internal locking: the
+    only cross-thread reads are summary snapshots after the dispatchers
+    join).  The schedule is fully deterministic: the ``n``-th opening's
+    cooldown is ``policy.delay("breaker:" + scope, n)``, the same
+    hash-jittered exponential as chunk retries, so a fleet of breakers
+    desynchronises without any global randomness.
+
+    Lifecycle::
+
+        closed --consecutive failures reach limit--> open
+        open --caller sleeps cooldown, begin_probe()--> half-open
+        half-open --success--> closed   (failure run forgiven)
+        half-open --failure--> open     (longer cooldown)
+        open for the limit-th time --> exhausted      (terminal)
+        mark_byzantine() from any state --> byzantine (terminal)
+
+    ``policy.pool_failure_limit`` plays both roles: the consecutive
+    failures that open a closed breaker, and the number of openings
+    after which the endpoint is given up on for good.  An endpoint that
+    *lies* (audit digest mismatch) skips the ladder entirely —
+    Byzantine is immediately terminal, there is no probation for
+    equivocation.
+
+    Args:
+        scope: Stable identity of the peer (the endpoint URL), used
+            only to key the deterministic cooldown schedule.
+        policy: The :class:`RetryPolicy` supplying the cooldown curve
+            and the failure/opening limits.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+    EXHAUSTED = "exhausted"
+    BYZANTINE = "byzantine"
+
+    def __init__(self, scope: str, policy: RetryPolicy) -> None:
+        self.scope = scope
+        self.policy = policy
+        self.state = self.CLOSED
+        self.consecutive_failures = 0
+        self.opens = 0
+
+    @property
+    def permanent(self) -> bool:
+        """Whether the peer is out for good (exhausted or Byzantine)."""
+        return self.state in (self.EXHAUSTED, self.BYZANTINE)
+
+    @property
+    def available(self) -> bool:
+        """Whether the peer may be handed work right now."""
+        return self.state in (self.CLOSED, self.HALF_OPEN)
+
+    @property
+    def cooldown(self) -> float:
+        """Seconds an open breaker waits before admitting its probe."""
+        if self.state != self.OPEN:
+            return 0.0
+        return self.policy.delay(f"breaker:{self.scope}", self.opens - 1)
+
+    def note_success(self) -> None:
+        """A successful interaction: half-open probes re-close."""
+        if self.permanent:
+            return
+        self.consecutive_failures = 0
+        self.state = self.CLOSED
+
+    def note_failure(self) -> None:
+        """A failed interaction; may open (or permanently exhaust)."""
+        if self.permanent:
+            return
+        self.consecutive_failures += 1
+        if self.state == self.HALF_OPEN:
+            # The probe itself failed: back to open, longer cooldown.
+            self._open()
+        elif self.consecutive_failures >= self.policy.pool_failure_limit:
+            self._open()
+
+    def begin_probe(self) -> bool:
+        """Move open → half-open; the caller has slept the cooldown.
+
+        Returns whether a probe is actually admitted (``False`` for
+        any state but open — callers can call this unconditionally).
+        """
+        if self.state != self.OPEN:
+            return False
+        self.state = self.HALF_OPEN
+        return True
+
+    def mark_byzantine(self) -> None:
+        """Terminal: the peer returned provably wrong results."""
+        self.state = self.BYZANTINE
+
+    def _open(self) -> None:
+        self.opens += 1
+        self.consecutive_failures = 0
+        if self.opens >= self.policy.pool_failure_limit:
+            self.state = self.EXHAUSTED
+        else:
+            self.state = self.OPEN
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        """A plain-dict snapshot for status documents and summaries."""
+        return {
+            "scope": self.scope,
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "opens": self.opens,
+        }
+
+
 @dataclass(frozen=True)
 class ChunkFailure:
     """One quarantined chunk: exhausted its attempts, recorded, not raised.
@@ -145,6 +271,12 @@ class BatchReport:
             rebuilt (broken pool or stall timeout).
         degraded_to_serial: Whether the executor gave up on the pool
             and finished the batch in-process.
+        audited_chunks: Remote chunks re-executed by the audit layer
+            to cross-check their attestation digests.
+        audit_mismatches: Audits whose re-execution digest disagreed
+            with the worker's claim (each marks an endpoint Byzantine).
+        byzantine_endpoints: Endpoint URLs proven to lie during this
+            batch (their checkpoints were purged and recomputed).
         failures: The structured :class:`ChunkFailure` records behind
             ``quarantined``.
     """
@@ -157,6 +289,9 @@ class BatchReport:
     quarantined: int = 0
     pool_rebuilds: int = 0
     degraded_to_serial: bool = False
+    audited_chunks: int = 0
+    audit_mismatches: int = 0
+    byzantine_endpoints: List[str] = field(default_factory=list)
     failures: List[ChunkFailure] = field(default_factory=list)
 
     def record_quarantine(self, failure: ChunkFailure) -> None:
@@ -175,5 +310,8 @@ class BatchReport:
             "quarantined": self.quarantined,
             "pool_rebuilds": self.pool_rebuilds,
             "degraded_to_serial": self.degraded_to_serial,
+            "audited_chunks": self.audited_chunks,
+            "audit_mismatches": self.audit_mismatches,
+            "byzantine_endpoints": list(self.byzantine_endpoints),
             "failures": [f.to_jsonable() for f in self.failures],
         }

@@ -8,8 +8,12 @@ onto the network:
 * :mod:`repro.service.netio` — the stdlib-only asyncio HTTP substrate
   (server, routing, SSE streaming, blocking JSON client helpers).
 * :mod:`repro.service.jobs` — :class:`JobManager`: plan-key dedup,
-  coalescing of identical in-flight submissions, and per-chunk
-  progress observation.
+  coalescing of identical in-flight submissions, per-chunk progress
+  observation, and bounded admission (oldest-finished eviction, 429
+  when saturated).
+* :mod:`repro.service.journal` — :class:`JobJournal`: the durable
+  jsonl job log the server replays after a crash, so submitted jobs
+  survive a SIGKILL and resume via the chunk ledger.
 * :mod:`repro.service.server` — :class:`SweepServerApp`: the
   ``POST /jobs`` / ``GET /jobs/<id>`` / SSE front end.
 * :mod:`repro.service.worker` — :class:`WorkerApp`: the thin
@@ -27,7 +31,8 @@ entry points (see :mod:`repro.cli`).
 """
 
 from repro.service.client import ServiceClient, SubmitReceipt
-from repro.service.jobs import JOB_STATES, Job, JobManager
+from repro.service.jobs import JOB_STATES, Job, JobManager, ServiceSaturated
+from repro.service.journal import JobJournal
 from repro.service.netio import (
     HttpError,
     HttpServer,
@@ -45,8 +50,10 @@ __all__ = [
     "HttpServer",
     "JOB_STATES",
     "Job",
+    "JobJournal",
     "JobManager",
     "RemoteExecutor",
+    "ServiceSaturated",
     "ServerConfig",
     "ServerThread",
     "ServiceClient",

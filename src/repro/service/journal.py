@@ -1,0 +1,192 @@
+"""Durable job journal: the sweep server's crash-survivable memory.
+
+The :class:`~repro.service.jobs.JobManager` holds its job table in
+memory; a SIGKILL therefore used to forget every queued and running
+job — the chunk *results* survived in the cache ledger, but the fact
+that someone had asked for them did not, so clients had to resubmit
+and hope.  The journal closes that gap with an append-only jsonl file
+under the cache root recording every job lifecycle event:
+
+* ``submit`` — the job's plan key, public id, label, and the full
+  wire-serialised plan (everything needed to reconstruct the job);
+* ``state`` — ``running`` / ``done`` / ``failed`` transitions (with
+  the error rendering for failures);
+* ``batch`` — one record per completed batch, so a reader can tell
+  how far a crashed job had progressed without touching the cache;
+* ``evict`` — the admission controller dropped a finished job from
+  the in-memory table (its id now answers 410, pointing here).
+
+Every record is one JSON object on one line, written under a lock and
+flushed + fsynced before the append returns — after a crash the file
+is at worst missing its final record or carrying one torn line, and
+:meth:`JobJournal.replay` simply skips unparsable lines.  Replay folds
+the log into per-plan-key summaries (last state wins); on restart the
+server re-admits every journaled plan, and resubmission is idempotent
+by construction: finished plans re-settle instantly from the cache,
+interrupted ones recompute only the chunks the ledger is missing.
+
+No timestamps anywhere: records carry logical ordering only (their
+position in the file), keeping the journal byte-reproducible for a
+given sequence of events — same determinism hygiene as everything
+else (``repro.lint`` REP007).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+__all__ = ["JOURNAL_VERSION", "JobJournal"]
+
+#: Bumped if the record layout ever changes incompatibly.
+JOURNAL_VERSION = 1
+
+
+class JobJournal:
+    """Append-only jsonl record of job lifecycle events.
+
+    Args:
+        path: The journal file; parent directories are created on
+            first append.  Missing file on replay means "no history".
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+
+    # -- appending -----------------------------------------------------
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        """Durably append one record (flush + fsync before returning).
+
+        An unwritable journal raises: unlike the result cache, which
+        degrades to uncached-but-correct, a journal that silently
+        drops records would later *lie* about what jobs existed.
+        """
+        record = dict(record, journal=JOURNAL_VERSION)
+        line = json.dumps(record, sort_keys=True) + "\n"
+        with self._lock:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "a", encoding="utf-8") as fh:
+                fh.write(line)
+                fh.flush()
+                os.fsync(fh.fileno())
+
+    def record_submit(
+        self,
+        plan_key: str,
+        job_id: str,
+        label: str,
+        plan_wire: Dict[str, Any],
+    ) -> None:
+        """A new (non-coalesced) job was admitted."""
+        self._append(
+            {
+                "event": "submit",
+                "plan_key": plan_key,
+                "job_id": job_id,
+                "label": label,
+                "plan": plan_wire,
+            }
+        )
+
+    def record_state(
+        self, plan_key: str, state: str, error: Optional[str] = None
+    ) -> None:
+        """A job changed lifecycle state."""
+        self._append(
+            {
+                "event": "state",
+                "plan_key": plan_key,
+                "state": state,
+                "error": error,
+            }
+        )
+
+    def record_batch(
+        self, plan_key: str, batch_index: int, batch_key: str
+    ) -> None:
+        """One batch of a running job completed."""
+        self._append(
+            {
+                "event": "batch",
+                "plan_key": plan_key,
+                "batch_index": batch_index,
+                "batch_key": batch_key,
+            }
+        )
+
+    def record_evict(self, plan_key: str, job_id: str) -> None:
+        """The admission controller dropped a finished job."""
+        self._append(
+            {"event": "evict", "plan_key": plan_key, "job_id": job_id}
+        )
+
+    # -- replay --------------------------------------------------------
+
+    def replay(self) -> List[Dict[str, Any]]:
+        """Fold the journal into per-plan summaries, in first-seen order.
+
+        Each summary carries ``plan_key`` / ``job_id`` / ``label`` /
+        ``plan`` (the wire document) / ``state`` (last recorded; a job
+        that never logged a terminal state replays as interrupted) /
+        ``error`` / ``completed_batches`` / ``evicted``.  Torn or
+        unparsable lines (a crash mid-append) and records for unknown
+        plan keys (a ``state`` whose ``submit`` line was lost) are
+        skipped — replay is defensive the way cache loads are.
+        """
+        summaries: Dict[str, Dict[str, Any]] = {}
+        order: List[str] = []
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                lines = fh.readlines()
+        except OSError:
+            return []
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # torn final append
+            if not isinstance(record, dict):
+                continue
+            event = record.get("event")
+            key = record.get("plan_key")
+            if not isinstance(key, str):
+                continue
+            if event == "submit":
+                if key not in summaries:
+                    order.append(key)
+                # A re-submit after restart refreshes the plan doc but
+                # keeps the first-seen position.
+                entry = summaries.setdefault(
+                    key,
+                    {
+                        "plan_key": key,
+                        "state": "queued",
+                        "error": None,
+                        "completed_batches": 0,
+                        "evicted": False,
+                    },
+                )
+                entry["job_id"] = record.get("job_id")
+                entry["label"] = record.get("label", "")
+                entry["plan"] = record.get("plan")
+                entry["evicted"] = False
+            elif key in summaries:
+                entry = summaries[key]
+                if event == "state":
+                    state = record.get("state")
+                    if isinstance(state, str):
+                        entry["state"] = state
+                        entry["error"] = record.get("error")
+                elif event == "batch":
+                    entry["completed_batches"] += 1
+                elif event == "evict":
+                    entry["evicted"] = True
+        return [summaries[key] for key in order]

@@ -13,19 +13,39 @@ remote execution is byte-identical to local at any worker count,
 endpoint assignment, or chunk geometry (the differential gates in
 ``tests/test_service.py`` pin this down, faults included).
 
-Failure handling reuses the PR-5 resilience policy wholesale: a chunk
-whose worker fails (connection refused, HTTP 5xx, malformed body) is
-charged an attempt under the :class:`RetryPolicy`'s deterministic
-backoff and re-queued — whichever healthy endpoint pulls it next
-re-runs it — until it succeeds or is quarantined as a
-:class:`~repro.harness.resilience.ChunkFailure` (kind ``"worker"``).  An endpoint that
-fails ``pool_failure_limit`` consecutive times is quarantined the way
-a broken process pool is abandoned; when every endpoint is gone the
-remaining chunks degrade to in-process execution
-(``BatchReport.degraded_to_serial``), mirroring the local pool's
-last-resort behaviour.  Completed chunks are checkpointed into the
-(local) cache ledger, so an interrupted remote run resumes at chunk
-granularity like any other.
+Failure handling layers three defences on the PR-5 resilience policy:
+
+* **Retry + circuit breakers** — a chunk whose worker fails
+  (connection refused, HTTP 5xx, malformed body, bad attestation) is
+  charged an attempt under the :class:`RetryPolicy`'s deterministic
+  backoff and re-queued for whichever healthy endpoint pulls it next.
+  Each endpoint runs a :class:`~repro.harness.resilience.
+  CircuitBreaker` instead of a one-way quarantine: enough consecutive
+  failures *open* the breaker, the endpoint cools down on the same
+  hash-jittered schedule as chunk retries, then *half-opens* for one
+  probe chunk — success re-closes it and the worker rejoins the fleet,
+  failure re-opens it with a longer cooldown, and only an endpoint
+  whose breaker has opened ``pool_failure_limit`` times is permanently
+  out.  When every endpoint is permanently out the remaining chunks
+  degrade to in-process execution (``BatchReport.degraded_to_serial``).
+* **Outcome attestation** — every ``/chunks`` response carries the
+  worker's ``chunk_digest`` (:func:`~repro.harness.exec.trial.
+  outcomes_digest`); the executor recomputes it over the received
+  outcomes, so transport corruption or an *inconsistent* lie is
+  rejected on receipt and charged as an ordinary worker failure.
+* **Audit re-execution** — a deterministic, plan-keyed sample of
+  completed chunks (:class:`~repro.harness.resilience.audit.
+  AuditPolicy`) is recomputed locally; a digest mismatch proves the
+  endpoint lied *consistently*.  The endpoint is marked Byzantine
+  (terminal — no probation for equivocation), every chunk it completed
+  this batch is purged from the results and the cache ledger and
+  re-queued for honest endpoints, and the audited chunk settles with
+  the locally recomputed truth.  With ``audit_fraction=1.0`` this is a
+  proof: the batch's results are byte-identical to a fault-free run no
+  matter what any worker returned.
+
+Completed chunks are checkpointed into the (local) cache ledger, so an
+interrupted remote run resumes at chunk granularity like any other.
 """
 
 from __future__ import annotations
@@ -38,38 +58,48 @@ from typing import Dict, List, Optional, Sequence
 from repro.errors import ConfigurationError
 from repro.harness.exec import ResultCache, TrialBatch, TrialOutcome
 from repro.harness.exec.executor import Executor, _render_error
+from repro.harness.exec.trial import outcomes_digest
 from repro.harness.exec.wire import WIRE_VERSION, spec_to_wire
 from repro.harness.resilience import (
     BatchReport,
     ChunkFailure,
+    CircuitBreaker,
     FaultPlan,
     RetryPolicy,
 )
+from repro.harness.resilience.audit import AuditPolicy, reexecute_chunk
 from repro.service.netio import ServiceUnreachable, request_json
 
 __all__ = ["RemoteExecutor", "WorkerEndpoint"]
 
 
 class WorkerEndpoint:
-    """One worker URL plus its health accounting."""
+    """One worker URL plus its breaker and throughput accounting."""
 
-    def __init__(self, url: str) -> None:
+    def __init__(self, url: str, retry: Optional[RetryPolicy] = None) -> None:
         self.url = url.rstrip("/")
-        self.consecutive_failures = 0
-        self.quarantined = False
+        self.breaker = CircuitBreaker(
+            self.url, retry if retry is not None else RetryPolicy()
+        )
         self.chunks_completed = 0
+        self.chunks_audited = 0
+
+    @property
+    def quarantined(self) -> bool:
+        """Permanently out: breaker exhausted or proven Byzantine."""
+        return self.breaker.permanent
+
+    @property
+    def byzantine(self) -> bool:
+        """Whether an audit proved this endpoint returned wrong results."""
+        return self.breaker.state == CircuitBreaker.BYZANTINE
 
     def note_success(self) -> None:
-        self.consecutive_failures = 0
+        self.breaker.note_success()
         self.chunks_completed += 1
 
-    def note_failure(self, limit: int) -> bool:
-        """Charge one failure; True if the endpoint just got quarantined."""
-        self.consecutive_failures += 1
-        if not self.quarantined and self.consecutive_failures >= limit:
-            self.quarantined = True
-            return True
-        return False
+    def note_failure(self) -> None:
+        self.breaker.note_failure()
 
 
 class RemoteExecutor(Executor):
@@ -85,10 +115,19 @@ class RemoteExecutor(Executor):
             batch into roughly ``4 * len(endpoints)`` chunks).
         retry: The shared :class:`RetryPolicy`; ``max_attempts`` and
             the backoff schedule govern chunk re-dispatch, and
-            ``pool_failure_limit`` doubles as the consecutive-failure
-            threshold that quarantines an endpoint.
+            ``pool_failure_limit`` sets both the consecutive-failure
+            threshold that opens an endpoint's circuit breaker and the
+            number of openings after which the endpoint is permanently
+            abandoned.
         request_timeout: Per-request HTTP timeout in seconds; a timed
             out request counts as a worker failure.
+        audit_fraction: Fraction of completed chunks re-executed
+            locally to cross-check worker attestations (``0.0``
+            disables auditing; ``1.0`` audits everything and makes the
+            run provably byte-identical to a fault-free one).
+        audit_seed: Salt for the deterministic audit selection —
+            typically the plan key (the sweep server wires it so), so
+            audits are reproducible per job.
         fault_plan: Optional chaos plan (parent-side corruption hooks,
             as in the local executors; worker-side faults are injected
             inside the worker process itself).
@@ -102,6 +141,8 @@ class RemoteExecutor(Executor):
         chunk_size: Optional[int] = None,
         retry: Optional[RetryPolicy] = None,
         request_timeout: float = 300.0,
+        audit_fraction: float = 0.0,
+        audit_seed: Optional[str] = None,
         fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         super().__init__(cache=cache, retry=retry, fault_plan=fault_plan)
@@ -118,9 +159,14 @@ class RemoteExecutor(Executor):
             raise ConfigurationError(
                 f"request_timeout must be > 0, got {request_timeout}"
             )
-        self.endpoints = [WorkerEndpoint(url) for url in urls]
+        self.endpoints = [WorkerEndpoint(url, self.retry) for url in urls]
         self.chunk_size = chunk_size
         self.request_timeout = request_timeout
+        # Validates the fraction eagerly (AuditPolicy raises on a bad
+        # one) and fixes the selection key for the executor's lifetime.
+        self.audit = AuditPolicy(
+            fraction=audit_fraction, seed=audit_seed or ""
+        )
 
     # -- chunk geometry (identical sizing rule to ParallelExecutor) ----
 
@@ -176,6 +222,16 @@ class RemoteExecutor(Executor):
                 f"worker {endpoint.url} returned outcomes for the wrong "
                 "trial indices"
             )
+        # Receipt-side attestation: the claimed digest must match the
+        # outcomes actually received.  This catches transport
+        # corruption and *inconsistent* lies for free; a worker lying
+        # consistently (digesting its own lie) passes here and is the
+        # audit layer's problem.
+        if doc.get("chunk_digest") != outcomes_digest(outcomes):
+            raise ServiceUnreachable(
+                f"worker {endpoint.url} attestation failed: chunk_digest "
+                "does not match the returned outcomes"
+            )
         return outcomes
 
     # -- the scheduler -------------------------------------------------
@@ -203,37 +259,76 @@ class RemoteExecutor(Executor):
         One dispatcher thread per endpoint pulls chunk ids off a shared
         queue, so work rebalances onto healthy workers automatically —
         the same straggler behaviour the local pool's oversized chunk
-        count buys.  All shared state (attempt counts, the report, the
-        endpoint health) is guarded by one lock; the HTTP round trips
+        count buys.  The queue is sentinel-terminated: when the last
+        chunk settles, one ``None`` per thread is enqueued, so idle
+        dispatchers block in ``get`` instead of polling.  All shared
+        state (attempt counts, the report, results, endpoint health) is
+        guarded by one lock; HTTP round trips and audit re-executions
         happen outside it.
         """
         retry = self.retry
         key = batch.batch_key()
         attempts = [0] * len(chunks)
-        collected: List[TrialOutcome] = []
-        work: "queue.Queue[int]" = queue.Queue()
+        results: Dict[int, List[TrialOutcome]] = {}
+        completed_by: Dict[str, List[int]] = {}
+        work: "queue.Queue[Optional[int]]" = queue.Queue()
         for cid in range(len(chunks)):
             work.put(cid)
         state = threading.Lock()
         outstanding = [len(chunks)]  # chunks not yet collected/quarantined
 
-        def settle_one(collected_outcomes: Optional[List[TrialOutcome]]) -> None:
-            """Mark one chunk finished (collected or quarantined)."""
-            if collected_outcomes is not None:
-                collected.extend(collected_outcomes)
+        def settle_one(
+            cid: int, chunk_outcomes: Optional[List[TrialOutcome]]
+        ) -> None:
+            """Mark one chunk finished (collected or quarantined).
+
+            Caller holds ``state``.  Settling the last chunk wakes
+            every dispatcher with one sentinel each.
+            """
+            if chunk_outcomes is not None:
+                results[cid] = chunk_outcomes
             outstanding[0] -= 1
+            if outstanding[0] <= 0:
+                for _ in threads:
+                    work.put(None)
+
+        def purge_endpoint(endpoint: WorkerEndpoint) -> None:
+            """Disown every chunk a Byzantine endpoint completed.
+
+            Caller holds ``state``.  The chunks revert to outstanding
+            — results dropped, ledger checkpoints expunged, re-queued
+            without charging an attempt (the chunks did nothing wrong)
+            — so honest endpoints recompute them.
+            """
+            for cid in completed_by.pop(endpoint.url, []):
+                if cid not in results:
+                    continue
+                del results[cid]
+                outstanding[0] += 1
+                if self.cache is not None:
+                    self.cache.remove_chunk(batch, chunks[cid])
+                work.put(cid)
 
         def dispatch(endpoint: WorkerEndpoint) -> None:
+            breaker = endpoint.breaker
             while True:
                 with state:
                     if outstanding[0] <= 0:
                         return
-                    if endpoint.quarantined:
+                    if breaker.permanent:
                         return
-                try:
-                    cid = work.get(timeout=0.05)
-                except queue.Empty:
+                    cooling = breaker.state == CircuitBreaker.OPEN
+                    cooldown = breaker.cooldown
+                if cooling:
+                    # Cool down holding no work, then admit one probe.
+                    if cooldown > 0:
+                        time.sleep(cooldown)
+                    with state:
+                        breaker.begin_probe()
                     continue
+                cid = work.get()
+                if cid is None:  # sentinel: the batch is settled
+                    return
                 with state:
                     attempt = attempts[cid]
                 if attempt > 0:
@@ -247,7 +342,7 @@ class RemoteExecutor(Executor):
                 except Exception as exc:
                     rendered = _render_error(exc)
                     with state:
-                        endpoint.note_failure(retry.pool_failure_limit)
+                        endpoint.note_failure()
                         attempts[cid] += 1
                         if attempts[cid] >= retry.max_attempts:
                             report.record_quarantine(
@@ -258,20 +353,49 @@ class RemoteExecutor(Executor):
                                     error=rendered,
                                 )
                             )
-                            settle_one(None)
+                            settle_one(cid, None)
                         else:
                             report.retries += 1
                             work.put(cid)
-                        if endpoint.quarantined:
+                        if breaker.permanent:
                             return
-                else:
-                    if self.cache is not None:
-                        self.cache.store_chunk(
-                            batch, chunks[cid], chunk_outcomes
-                        )
+                    continue
+                if self.audit.selects(key, chunks[cid]):
+                    truth = reexecute_chunk(
+                        batch.spec, batch.base_seed, chunks[cid]
+                    )
+                    honest = outcomes_digest(truth) == outcomes_digest(
+                        chunk_outcomes
+                    )
+                    if not honest:
+                        # A consistent lie, caught.  Byzantine is
+                        # terminal; everything this endpoint produced
+                        # is suspect and recomputes elsewhere, while
+                        # the audited chunk settles with the locally
+                        # recomputed truth.
+                        if self.cache is not None:
+                            self.cache.store_chunk(batch, chunks[cid], truth)
+                        with state:
+                            endpoint.chunks_audited += 1
+                            report.audited_chunks += 1
+                            report.audit_mismatches += 1
+                            if endpoint.url not in report.byzantine_endpoints:
+                                report.byzantine_endpoints.append(
+                                    endpoint.url
+                                )
+                            breaker.mark_byzantine()
+                            purge_endpoint(endpoint)
+                            settle_one(cid, truth)
+                        return
                     with state:
-                        endpoint.note_success()
-                        settle_one(chunk_outcomes)
+                        endpoint.chunks_audited += 1
+                        report.audited_chunks += 1
+                if self.cache is not None:
+                    self.cache.store_chunk(batch, chunks[cid], chunk_outcomes)
+                with state:
+                    endpoint.note_success()
+                    completed_by.setdefault(endpoint.url, []).append(cid)
+                    settle_one(cid, chunk_outcomes)
 
         threads = [
             threading.Thread(
@@ -285,16 +409,23 @@ class RemoteExecutor(Executor):
         for thread in threads:
             thread.join()
 
-        # Every dispatcher exited.  Anything still outstanding means
-        # the whole fleet is quarantined: degrade to in-process
-        # execution rather than lose the batch, exactly like the local
-        # pool after pool_failure_limit consecutive breaks.
+        collected: List[TrialOutcome] = []
+        for chunk_outcomes in results.values():
+            collected.extend(chunk_outcomes)
+
+        # Every dispatcher exited.  Any chunk id still queued (skipping
+        # the wake-up sentinels) means the whole fleet is permanently
+        # out: degrade to in-process execution rather than lose the
+        # batch, exactly like the local pool after pool_failure_limit
+        # consecutive breaks.
         leftovers: List[int] = []
         while True:
             try:
-                leftovers.append(work.get_nowait())
+                item = work.get_nowait()
             except queue.Empty:
                 break
+            if item is not None:
+                leftovers.append(item)
         if leftovers:
             report.degraded_to_serial = True
             for cid in sorted(leftovers):
@@ -307,8 +438,6 @@ class RemoteExecutor(Executor):
                         start_attempt=attempts[cid],
                     )
                 )
-                with state:
-                    outstanding[0] -= 1
         return collected
 
     def worker_summary(self) -> List[Dict[str, object]]:
@@ -316,8 +445,11 @@ class RemoteExecutor(Executor):
         return [
             {
                 "url": e.url,
+                "state": e.breaker.state,
                 "quarantined": e.quarantined,
+                "byzantine": e.byzantine,
                 "chunks_completed": e.chunks_completed,
+                "chunks_audited": e.chunks_audited,
             }
             for e in self.endpoints
         ]

@@ -32,6 +32,7 @@ from __future__ import annotations
 import asyncio
 import json
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import AsyncIterator, Optional, Tuple
 
 import repro
@@ -44,7 +45,14 @@ from repro.harness.exec import (
 )
 from repro.harness.exec.wire import WIRE_VERSION
 from repro.harness.resilience import RetryPolicy
-from repro.service.jobs import JOB_DONE, JOB_FAILED, Job, JobManager
+from repro.service.jobs import (
+    JOB_DONE,
+    JOB_FAILED,
+    Job,
+    JobManager,
+    ServiceSaturated,
+)
+from repro.service.journal import JobJournal
 from repro.service.netio import App, HttpError, Request, Response
 from repro.service.remote import RemoteExecutor
 
@@ -66,11 +74,22 @@ class ServerConfig:
     retries: int = 2
     chunk_timeout: Optional[float] = None
     request_timeout: float = 300.0  # per worker HTTP request
+    audit_fraction: float = 0.0  # remote chunks re-executed locally
+    journal: bool = False  # durable job journal under the cache root
+    max_jobs: Optional[int] = None  # job-table bound (None = unbounded)
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ConfigurationError(
                 f"workers must be >= 1, got {self.workers}"
+            )
+        if not 0.0 <= self.audit_fraction <= 1.0:
+            raise ConfigurationError(
+                f"audit_fraction must be in [0, 1], got {self.audit_fraction}"
+            )
+        if self.max_jobs is not None and self.max_jobs < 1:
+            raise ConfigurationError(
+                f"max_jobs must be >= 1, got {self.max_jobs}"
             )
         if not isinstance(self.worker_endpoints, tuple):
             self.worker_endpoints = tuple(self.worker_endpoints)
@@ -80,8 +99,19 @@ class ServerConfig:
 
         return self.cache_dir if self.cache_dir else str(DEFAULT_CACHE_DIR)
 
-    def executor_factory(self, cache: Optional[ResultCache]) -> Executor:
-        """The executor one job runs on, per this config."""
+    def journal_path(self) -> str:
+        """Where the job journal lives: beside the cache documents."""
+        return str(Path(self.cache_root()) / "journal.jsonl")
+
+    def executor_factory(
+        self, cache: Optional[ResultCache], audit_seed: str = ""
+    ) -> Executor:
+        """The executor one job runs on, per this config.
+
+        ``audit_seed`` is the submitting job's plan key (passed by the
+        :class:`~repro.service.jobs.JobManager`), keying the
+        deterministic audit-selection schedule per job.
+        """
         retry = RetryPolicy(max_attempts=self.retries + 1)
         if self.worker_endpoints:
             return RemoteExecutor(
@@ -89,6 +119,8 @@ class ServerConfig:
                 cache=cache,
                 retry=retry,
                 request_timeout=self.request_timeout,
+                audit_fraction=self.audit_fraction,
+                audit_seed=audit_seed,
             )
         return make_executor(
             self.workers,
@@ -103,11 +135,23 @@ class SweepServerApp:
 
     def __init__(self, config: Optional[ServerConfig] = None) -> None:
         self.config = config if config is not None else ServerConfig()
+        self.journal = (
+            JobJournal(self.config.journal_path())
+            if self.config.journal
+            else None
+        )
         self.jobs = JobManager(
             self.config.executor_factory,
             cache_root=self.config.cache_root(),
             job_workers=self.config.job_workers,
+            journal=self.journal,
+            max_jobs=self.config.max_jobs,
         )
+        if self.journal is not None:
+            # Re-admit journaled jobs before serving: queued/running
+            # plans resume via the chunk ledger, finished ones settle
+            # from cache, and their original ids answer again.
+            self.jobs.recover()
         self.app = App()
         self.app.add("GET", "/healthz", self._healthz)
         self.app.add("POST", "/jobs", self._submit)
@@ -131,6 +175,11 @@ class SweepServerApp:
                 "workers": self.config.workers,
                 "worker_endpoints": list(self.config.worker_endpoints),
                 "jobs": len(self.jobs.jobs()),
+                "journal": (
+                    self.config.journal_path() if self.journal else None
+                ),
+                "max_jobs": self.config.max_jobs,
+                "audit_fraction": self.config.audit_fraction,
             }
         )
 
@@ -143,7 +192,10 @@ class SweepServerApp:
         except ReproError as exc:
             raise HttpError(400, str(exc)) from exc
         label = str(doc.get("label", ""))
-        job, coalesced = self.jobs.submit(plan, label=label)
+        try:
+            job, coalesced = self.jobs.submit(plan, label=label)
+        except ServiceSaturated as exc:
+            raise HttpError(429, str(exc)) from exc
         return Response(
             status=202,
             payload={
@@ -157,9 +209,24 @@ class SweepServerApp:
         )
 
     def _lookup(self, request: Request) -> Job:
-        job = self.jobs.get(request.params["job_id"])
+        job_id = request.params["job_id"]
+        job = self.jobs.get(job_id)
         if job is None:
-            raise HttpError(404, f"no such job: {request.params['job_id']}")
+            evicted_key = self.jobs.evicted_key(job_id)
+            if evicted_key is not None:
+                pointer = (
+                    f"; its history is in the journal at "
+                    f"{self.config.journal_path()}"
+                    if self.journal is not None
+                    else ""
+                )
+                raise HttpError(
+                    410,
+                    f"job {job_id} (plan {evicted_key}) was evicted from "
+                    f"the job table{pointer}; resubmit the plan to "
+                    "recompute from cache",
+                )
+            raise HttpError(404, f"no such job: {job_id}")
         return job
 
     async def _list_jobs(self, request: Request) -> Response:

@@ -15,6 +15,15 @@ submits a small sweep twice, and checks the whole contract:
 This is the CI ``service-smoke`` job.  It exercises subprocess
 boundaries the in-process tests can't: stdout port discovery, real
 sockets, and signal-based teardown.
+
+``--byzantine`` (the CI ``byzantine-smoke`` job, ``make
+byzantine-smoke``) runs the untrusted-fleet variant instead: one
+honest worker plus one worker whose chaos plan falsifies every
+outcome it computes (well-formed, correctly-digested lies), behind a
+server with ``--audit-fraction 1.0``.  The gate is differential — the
+job must settle with results byte-identical to a fault-free in-process
+serial run, which proves the audit layer caught and recomputed every
+lie the Byzantine worker told (see docs/robustness.md).
 """
 
 from __future__ import annotations
@@ -128,6 +137,91 @@ def _teardown(procs: List[subprocess.Popen]) -> bool:
     return clean
 
 
+def _run_byzantine(trials: int, tmp: str) -> int:
+    """The untrusted-fleet smoke: one liar, full audit, exact results."""
+    from repro.harness.exec import SerialExecutor
+    from repro.harness.resilience import Fault, FaultPlan
+
+    chaos = FaultPlan(
+        tuple(Fault("corrupt-outcomes", i, times=99) for i in range(trials))
+    )
+    chaos_path = chaos.dump(f"{tmp}/byzantine-plan.json")
+
+    procs: List[subprocess.Popen] = []
+    try:
+        honest, honest_url = spawn_service(
+            ["worker", "--host", "127.0.0.1", "--port", "0"]
+        )
+        procs.append(honest)
+        liar, liar_url = spawn_service(
+            [
+                "worker", "--host", "127.0.0.1", "--port", "0",
+                "--chaos", str(chaos_path),
+            ]
+        )
+        procs.append(liar)
+        for url in (honest_url, liar_url):
+            wait_healthz(url)
+        print(f"honest worker at {honest_url}, byzantine at {liar_url}")
+
+        server, server_url = spawn_service(
+            [
+                "serve", "--host", "127.0.0.1", "--port", "0",
+                "--worker-endpoint", honest_url,
+                "--worker-endpoint", liar_url,
+                "--cache-dir", f"{tmp}/cache",
+                "--audit-fraction", "1.0",
+            ]
+        )
+        procs.append(server)
+        wait_healthz(server_url)
+        print(f"server up at {server_url} (audit fraction 1.0)")
+
+        client = ServiceClient(server_url)
+        plan = smoke_plan(trials)
+        receipt = client.submit(plan, label="byzantine-smoke")
+        status = client.wait(receipt.job_id, timeout=120.0)
+        if status["state"] != "done":
+            raise ReproError(f"smoke job failed: {status.get('error')!r}")
+        if any(r["missing_trials"] != 0 for r in status["results"]):
+            raise ReproError(f"lost trials: {status['results']!r}")
+
+        # The differential gate: byte-identical to fault-free serial.
+        served = client.outcomes(receipt.job_id)["batches"]
+        with SerialExecutor() as serial:
+            expected = [
+                [o.to_jsonable() for o in serial.run_outcomes(batch)]
+                for batch in plan
+            ]
+        if [b["outcomes"] for b in served] != expected:
+            raise ReproError(
+                "served outcomes differ from a fault-free serial run — "
+                "a Byzantine lie got through"
+            )
+        resilience = status.get("resilience", {})
+        if resilience.get("audited_chunks", 0) < 1:
+            raise ReproError(f"no chunks were audited: {resilience!r}")
+        flagged = resilience.get("byzantine_endpoints", [])
+        if any(url != liar_url for url in flagged):
+            raise ReproError(
+                f"honest endpoint flagged byzantine: {flagged!r}"
+            )
+        mismatches = resilience.get("audit_mismatches", 0)
+        print(
+            f"results byte-identical to serial; {mismatches} lie(s) "
+            f"caught, flagged: {flagged or 'none (liar never won a chunk)'}"
+        )
+    except Exception as exc:
+        _teardown(procs)
+        print(f"SMOKE FAIL: {exc}", file=sys.stderr)
+        return 1
+    if not _teardown(procs):
+        print("SMOKE FAIL: a process needed SIGKILL", file=sys.stderr)
+        return 1
+    print("SMOKE PASS: byzantine worker contained, results exact")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.service.smoke", description=__doc__
@@ -138,7 +232,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=24,
         help="trials per batch of the smoke sweep (default: 24)",
     )
+    parser.add_argument(
+        "--byzantine",
+        action="store_true",
+        help=(
+            "run the untrusted-fleet smoke instead: one lying worker, "
+            "full audit, results must match fault-free serial exactly"
+        ),
+    )
     opts = parser.parse_args(argv)
+    if opts.byzantine:
+        with tempfile.TemporaryDirectory(prefix="repro-smoke-") as tmp:
+            return _run_byzantine(opts.trials, tmp)
 
     procs: List[subprocess.Popen] = []
     with tempfile.TemporaryDirectory(prefix="repro-smoke-") as tmp:

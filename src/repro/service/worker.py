@@ -14,7 +14,10 @@ Endpoints:
 
 * ``POST /chunks`` — body ``{"wire": 1, "spec": <wire spec>,
   "base_seed": int, "indices": [int, ...], "attempt": int}``;
-  responds ``{"outcomes": [<trial outcome>, ...]}``.
+  responds ``{"outcomes": [<trial outcome>, ...], "chunk_digest":
+  <hex sha256>}`` where the digest is the outcome attestation
+  (:func:`repro.harness.exec.trial.outcomes_digest`) the caller
+  recomputes on receipt.
 * ``GET /healthz`` — liveness probe with version info.
 
 Chunks execute off the event loop: inline on a thread (default) or on
@@ -37,8 +40,13 @@ import repro
 from repro.errors import ConfigurationError, ReproError
 from repro.harness.exec import TrialOutcome, run_chunk, spec_from_wire
 from repro.harness.exec.spec import TrialSpec
+from repro.harness.exec.trial import outcomes_digest
 from repro.harness.exec.wire import WIRE_VERSION
-from repro.harness.resilience import FaultPlan, inject_chunk_faults
+from repro.harness.resilience import (
+    FaultPlan,
+    corrupt_outcomes,
+    inject_chunk_faults,
+)
 from repro.service.netio import App, HttpError, Request, Response
 
 __all__ = ["WorkerApp", "execute_wire_chunk"]
@@ -56,10 +64,17 @@ def execute_wire_chunk(
     Module-level and picklable-by-name, so the worker's optional
     process pool can resolve it by import — the same discipline as the
     executor's ``run_chunk`` (which this wraps).
+
+    This is also where a ``corrupt-outcomes`` chaos fault bites: the
+    chunk computes honestly, then targeted outcomes are falsified on
+    the way out — the worker *lies consistently* (its attestation
+    digest covers the lie), which is exactly the adversary audit
+    re-execution exists to catch.
     """
     if fault_plan is not None:
         inject_chunk_faults(indices, attempt, fault_plan)
-    return run_chunk(spec, base_seed, indices, attempt)
+    outcomes = run_chunk(spec, base_seed, indices, attempt)
+    return corrupt_outcomes(outcomes, indices, attempt, fault_plan)
 
 
 class WorkerApp:
@@ -193,5 +208,6 @@ class WorkerApp:
         return Response(
             payload={
                 "outcomes": [o.to_jsonable() for o in outcomes],
+                "chunk_digest": outcomes_digest(outcomes),
             }
         )

@@ -88,6 +88,7 @@ ALL_MODULES = [
     "repro.harness.export",
     "repro.harness.report",
     "repro.harness.resilience",
+    "repro.harness.resilience.audit",
     "repro.harness.resilience.chaos",
     "repro.harness.resilience.policy",
     "repro.harness.runner",
@@ -107,6 +108,7 @@ ALL_MODULES = [
     "repro.service",
     "repro.service.client",
     "repro.service.jobs",
+    "repro.service.journal",
     "repro.service.netio",
     "repro.service.remote",
     "repro.service.server",
